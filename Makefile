@@ -1,0 +1,25 @@
+# Convenience targets; each maps to a documented command in README.md.
+
+.PHONY: install test test-fast bench experiments experiments-report clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	repro-experiments all --scale bench --no-plots
+
+experiments-report:
+	repro-experiments all --scale bench --no-plots --markdown EXPERIMENTS.generated.md
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def run_figure_benchmark(benchmark, module, scale, **run_kwargs):
+    """Run ``module.run(scale)`` under pytest-benchmark once, print the
+    reproduced series, and fail on any shape-check violation."""
+    fig = benchmark.pedantic(
+        lambda: module.run(scale, **run_kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(fig.render(plots=False))
+    problems = module.shape_checks(fig)
+    assert problems == [], "shape checks failed:\n" + "\n".join(problems)
+    return fig

@@ -1,0 +1,9 @@
+"""Ablations: scheduler policies (regular + irregular work) and the
+Sec. II-A timer-overhead note — see ``repro.experiments.ablations``."""
+
+from _support import run_figure_benchmark
+from repro.experiments import ablations
+
+
+def test_ablations_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, ablations, bench_scale)

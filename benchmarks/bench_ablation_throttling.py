@@ -1,0 +1,9 @@
+"""Adaptive concurrency throttling driven by the paper's metrics — see
+``repro.experiments.throttling_experiment``."""
+
+from _support import run_figure_benchmark
+from repro.experiments import throttling_experiment
+
+
+def test_throttling_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, throttling_experiment, bench_scale)

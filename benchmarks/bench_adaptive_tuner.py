@@ -1,0 +1,9 @@
+"""Adaptive grain-size tuning (the paper's Sec. VI future work) — see
+``repro.experiments.tuner_experiment``."""
+
+from _support import run_figure_benchmark
+from repro.experiments import tuner_experiment
+
+
+def test_adaptive_tuner_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, tuner_experiment, bench_scale)

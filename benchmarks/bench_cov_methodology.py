@@ -1,0 +1,9 @@
+"""COV structure of the measurements (paper Sec. IV, first paragraph) — see
+``repro.experiments.cov_experiment``."""
+
+from _support import run_figure_benchmark
+from repro.experiments import cov_experiment
+
+
+def test_cov_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, cov_experiment, bench_scale)

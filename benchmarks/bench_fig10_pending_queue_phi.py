@@ -1,0 +1,12 @@
+"""Fig. 10: pending-queue accesses on the Xeon Phi.
+
+See the module docstring of ``repro.experiments.fig10_pending_queue_phi`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig10_pending_queue_phi
+
+
+def test_fig10_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig10_pending_queue_phi, bench_scale)

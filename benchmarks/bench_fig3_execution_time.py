@@ -1,0 +1,12 @@
+"""Fig. 3: execution time vs. task granularity, strong scaling, all four platforms.
+
+See the module docstring of ``repro.experiments.fig3_execution_time`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig3_execution_time
+
+
+def test_fig3_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig3_execution_time, bench_scale)

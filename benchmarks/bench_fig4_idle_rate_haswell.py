@@ -1,0 +1,12 @@
+"""Fig. 4: idle-rate and execution time on Haswell (8/16/28 cores).
+
+See the module docstring of ``repro.experiments.fig4_idle_rate_haswell`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig4_idle_rate_haswell
+
+
+def test_fig4_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig4_idle_rate_haswell, bench_scale)

@@ -1,0 +1,12 @@
+"""Fig. 5: idle-rate and execution time on the Xeon Phi (16/32/60 cores).
+
+See the module docstring of ``repro.experiments.fig5_idle_rate_phi`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig5_idle_rate_phi
+
+
+def test_fig5_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig5_idle_rate_phi, bench_scale)

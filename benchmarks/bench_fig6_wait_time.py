@@ -1,0 +1,12 @@
+"""Fig. 6: wait time per HPX-thread vs. partition size on Haswell.
+
+See the module docstring of ``repro.experiments.fig6_wait_time`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig6_wait_time
+
+
+def test_fig6_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig6_wait_time, bench_scale)

@@ -1,0 +1,12 @@
+"""Fig. 7: HPX-thread management + wait time decomposition on Haswell.
+
+See the module docstring of ``repro.experiments.fig7_decomposition_haswell`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig7_decomposition_haswell
+
+
+def test_fig7_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig7_decomposition_haswell, bench_scale)

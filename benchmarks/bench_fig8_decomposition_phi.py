@@ -1,0 +1,12 @@
+"""Fig. 8: HPX-thread management + wait time decomposition on the Xeon Phi.
+
+See the module docstring of ``repro.experiments.fig8_decomposition_phi`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig8_decomposition_phi
+
+
+def test_fig8_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig8_decomposition_phi, bench_scale)

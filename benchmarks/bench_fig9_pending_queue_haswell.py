@@ -1,0 +1,12 @@
+"""Fig. 9: pending-queue accesses on Haswell.
+
+See the module docstring of ``repro.experiments.fig9_pending_queue_haswell`` for the paper
+context and the claims the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import fig9_pending_queue_haswell
+
+
+def test_fig9_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, fig9_pending_queue_haswell, bench_scale)

@@ -1,0 +1,13 @@
+"""In-text grain-selection claims (Sec. IV-A idle-rate threshold, Sec. IV-E
+pending-queue minimum) — see ``repro.experiments.selection_experiment``."""
+
+from _support import run_figure_benchmark
+from repro.experiments import selection_experiment
+
+
+def test_selection_rules_reproduction(benchmark, bench_scale):
+    fig = run_figure_benchmark(benchmark, selection_experiment, bench_scale)
+    oracle, idle_rule, queue_rule = fig.outcomes  # type: ignore[attr-defined]
+    print()
+    for outcome in (oracle, idle_rule, queue_rule):
+        print(outcome.summary())

@@ -1,0 +1,8 @@
+"""Table I: platform specifications (paper Sec. III)."""
+
+from _support import run_figure_benchmark
+from repro.experiments import table1_platforms
+
+
+def test_table1_platform_specifications(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, table1_platforms, bench_scale)

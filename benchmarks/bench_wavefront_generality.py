@@ -1,0 +1,9 @@
+"""Methodology generality on the 2-D wavefront workload — see
+``repro.experiments.wavefront_generality``."""
+
+from _support import run_figure_benchmark
+from repro.experiments import wavefront_generality
+
+
+def test_wavefront_generality(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, wavefront_generality, bench_scale)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper artifact at the ``bench`` scale (see
+``repro.experiments.config``), prints the reproduced rows/series, and then
+asserts the figure's qualitative shape checks.  Timings are collected by
+pytest-benchmark with a single round — each run is a deterministic
+simulation, so repetition would only re-measure the same event stream.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to see the reproduced tables inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return get_scale("bench")

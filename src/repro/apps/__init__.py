@@ -1,0 +1,56 @@
+"""Benchmark applications.
+
+- :mod:`repro.apps.stencil1d` — **HPX-Stencil** (the paper's ``1d_stencil_4``):
+  futurized 1-D heat diffusion over a ring, partitioned so that grain size is
+  controlled by the points-per-partition parameter (Sec. I-C);
+- :mod:`repro.apps.microbench` — homogeneous task-spawn ladders and fork-join
+  trees ("we obtained similar results from micro benchmarks", Sec. I-C);
+- :mod:`repro.apps.graphapp` — a task-parallel BFS over synthetic graphs,
+  standing in for the "scaling impaired" fine-grained graph applications the
+  paper's introduction motivates;
+- :mod:`repro.apps.wavefront2d` — a tiled 2-D dynamic-programming wavefront
+  (sequence alignment), the compute-bound, pipeline-parallel counterpoint to
+  the stencil's bandwidth-bound ring.
+"""
+
+from repro.apps.stencil1d import (
+    StencilConfig,
+    StencilOutcome,
+    build_stencil_graph,
+    heat_partition,
+    run_stencil,
+    serial_reference,
+)
+from repro.apps.microbench import (
+    MicrobenchConfig,
+    run_forkjoin_tree,
+    run_task_ladder,
+    run_suspension_chain,
+)
+from repro.apps.graphapp import GraphAppConfig, make_layered_graph, run_graph_bfs
+from repro.apps.wavefront2d import (
+    WavefrontConfig,
+    run_wavefront,
+    serial_alignment_score,
+    wavefront_run_fn,
+)
+
+__all__ = [
+    "StencilConfig",
+    "StencilOutcome",
+    "build_stencil_graph",
+    "heat_partition",
+    "run_stencil",
+    "serial_reference",
+    "MicrobenchConfig",
+    "run_task_ladder",
+    "run_forkjoin_tree",
+    "run_suspension_chain",
+    "GraphAppConfig",
+    "make_layered_graph",
+    "run_graph_bfs",
+    "WavefrontConfig",
+    "run_wavefront",
+    "serial_alignment_score",
+    "wavefront_run_fn",
+]

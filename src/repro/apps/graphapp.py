@@ -1,0 +1,124 @@
+"""Task-parallel graph traversal: the "scaling impaired" application class.
+
+The paper motivates granularity adaptation with "classes of scaling impaired
+applications, such as graph applications, that inherently employ fine-grained
+tasks" (Sec. I-A).  This module provides that workload: a wavefront
+(BFS-order) traversal of a synthetic layered DAG where every vertex visit is
+one task whose dependencies are its in-neighbours.
+
+Unlike the stencil, the task population is *irregular* — layer widths and
+in-degrees vary — so the scheduler's load balancing (stealing) is genuinely
+exercised.  Grain size is controlled by ``visits_per_task``: consecutive
+vertices of a layer are batched into one task, the same
+aggregation-as-granularity knob the paper applies to the stencil.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.runtime.future import Future
+from repro.runtime.runtime import RunResult, Runtime, RuntimeConfig
+from repro.runtime.work import FixedWork
+
+
+@dataclass(frozen=True)
+class GraphAppConfig:
+    """Synthetic layered-DAG traversal parameters."""
+
+    layers: int = 20
+    mean_width: int = 64
+    edges_per_vertex: int = 3
+    visit_ns: int = 2_000
+    visits_per_task: int = 1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.layers < 1 or self.mean_width < 1:
+            raise ValueError("layers and mean_width must be >= 1")
+        if self.visits_per_task < 1:
+            raise ValueError("visits_per_task must be >= 1")
+        if self.edges_per_vertex < 1:
+            raise ValueError("edges_per_vertex must be >= 1")
+
+
+def make_layered_graph(config: GraphAppConfig) -> nx.DiGraph:
+    """A random layered DAG with varying layer widths.
+
+    Vertex attribute ``layer`` gives the BFS level; every vertex in layer
+    L > 0 has ``edges_per_vertex`` in-edges from layer L-1 (with repetition
+    collapsed), so the wavefront structure is exact.
+    """
+    rng = random.Random(config.seed)
+    g = nx.DiGraph()
+    layers: list[list[int]] = []
+    next_id = 0
+    for layer in range(config.layers):
+        lo = max(1, config.mean_width // 2)
+        hi = config.mean_width + config.mean_width // 2
+        width = rng.randint(lo, hi)
+        ids = list(range(next_id, next_id + width))
+        next_id += width
+        for v in ids:
+            g.add_node(v, layer=layer)
+        if layer > 0:
+            prev = layers[-1]
+            for v in ids:
+                for _ in range(config.edges_per_vertex):
+                    g.add_edge(rng.choice(prev), v)
+        layers.append(ids)
+    return g
+
+
+def run_graph_bfs(
+    runtime_config: RuntimeConfig, config: GraphAppConfig
+) -> RunResult:
+    """Traverse the DAG with one task per batch of same-layer vertices.
+
+    Each batch task depends on the batches (in the previous layer) containing
+    any in-neighbour of its vertices.  The task value is the number of visits
+    performed; the sum over all batches must equal the vertex count, which is
+    verified before returning.
+    """
+    g = make_layered_graph(config)
+    rt = Runtime(runtime_config)
+
+    by_layer: dict[int, list[int]] = {}
+    for v, data in g.nodes(data=True):
+        by_layer.setdefault(data["layer"], []).append(v)
+
+    batch_future: dict[int, Future] = {}  # vertex -> future of its batch
+    all_batches: list[Future] = []
+    for layer in sorted(by_layer):
+        vertices = sorted(by_layer[layer])
+        for start in range(0, len(vertices), config.visits_per_task):
+            batch = vertices[start:start + config.visits_per_task]
+            dep_futures: list[Future] = []
+            seen: set[int] = set()
+            for v in batch:
+                for pred in g.predecessors(v):
+                    f = batch_future[pred]
+                    if id(f) not in seen:
+                        seen.add(id(f))
+                        dep_futures.append(f)
+            count = len(batch)
+            future = rt.dataflow(
+                lambda *_deps, count=count: count,
+                dep_futures,
+                work=FixedWork(config.visit_ns * count),
+                name=f"bfs@L{layer}[{start}]",
+            )
+            for v in batch:
+                batch_future[v] = future
+            all_batches.append(future)
+
+    result = rt.run()
+    visited = sum(f.value for f in all_batches)
+    if visited != g.number_of_nodes():
+        raise RuntimeError(
+            f"visited {visited} vertices, expected {g.number_of_nodes()}"
+        )
+    return result

@@ -1,0 +1,129 @@
+"""Micro-benchmarks: controlled task populations.
+
+The paper notes that "we obtained similar results from micro benchmarks but
+for brevity they are not included" (Sec. I-C).  These generators provide
+those simpler populations, which the tests and ablation benches use to probe
+the runtime with known-shape workloads:
+
+- :func:`run_task_ladder` — N independent equal-size tasks; the purest
+  grain-size experiment (total work fixed, task count varies);
+- :func:`run_forkjoin_tree` — a binary fork-join recursion, the classic
+  task-parallel dependency shape;
+- :func:`run_suspension_chain` — generator tasks that suspend on futures,
+  exercising the suspended state and the thread-phase counters
+  (``/threads/count/cumulative-phases``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.future import Future
+from repro.runtime.runtime import RunResult, Runtime, RuntimeConfig
+from repro.runtime.task import Task
+from repro.runtime.work import FixedWork
+
+
+@dataclass(frozen=True)
+class MicrobenchConfig:
+    """Shared knobs: total virtual work split into ``num_tasks`` pieces."""
+
+    total_work_ns: int = 100_000_000
+    num_tasks: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        if self.total_work_ns < self.num_tasks:
+            raise ValueError("total_work_ns must be >= num_tasks")
+
+    @property
+    def task_ns(self) -> int:
+        return self.total_work_ns // self.num_tasks
+
+
+def run_task_ladder(
+    runtime_config: RuntimeConfig, config: MicrobenchConfig
+) -> RunResult:
+    """N independent FixedWork tasks; total work held constant.
+
+    Sweeping ``num_tasks`` reproduces the fine→coarse transition with no
+    dependency structure at all: every overhead observed is pure scheduling.
+    """
+    rt = Runtime(runtime_config)
+    futures = [
+        rt.async_(lambda: None, work=FixedWork(config.task_ns), name=f"rung#{i}")
+        for i in range(config.num_tasks)
+    ]
+    result = rt.run()
+    unready = sum(1 for f in futures if not f.is_ready)
+    if unready:
+        raise RuntimeError(f"{unready} ladder tasks never completed")
+    return result
+
+
+def run_forkjoin_tree(
+    runtime_config: RuntimeConfig, depth: int, leaf_ns: int
+) -> RunResult:
+    """A binary fork-join tree of depth ``depth``.
+
+    Leaves carry ``leaf_ns`` of work; interior joins are dataflow nodes with
+    small fixed cost.  Returns after verifying the root completed with the
+    expected leaf count as its value.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    rt = Runtime(runtime_config)
+
+    def build(level: int) -> Future:
+        if level == 0:
+            return rt.async_(lambda: 1, work=FixedWork(leaf_ns), name="leaf")
+        left = build(level - 1)
+        right = build(level - 1)
+        return rt.dataflow(
+            lambda a, b: a + b,
+            [left, right],
+            work=FixedWork(max(1, leaf_ns // 20)),
+            name=f"join@{level}",
+        )
+
+    root = build(depth)
+    result = rt.run()
+    expected = 2**depth
+    if root.value != expected:
+        raise RuntimeError(f"fork-join sum {root.value} != {expected}")
+    return result
+
+
+def run_suspension_chain(
+    runtime_config: RuntimeConfig, length: int, phase_ns: int
+) -> RunResult:
+    """``length`` producer/consumer pairs where each consumer *suspends*.
+
+    Each consumer is a generator task: it runs one phase, yields on its
+    producer's future (entering the suspended state), and resumes for a
+    final phase once the producer completes — two phases per consumer, which
+    the phase counters must reflect.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rt = Runtime(runtime_config)
+    outputs: list[Future] = []
+    for i in range(length):
+        produced = rt.async_(
+            lambda i=i: i * i, work=FixedWork(phase_ns), name=f"producer#{i}"
+        )
+        done = Future(f"consumer#{i}")
+
+        def consumer(produced: Future = produced, done: Future = done):
+            # Phase 1 ends here; the yield suspends until the producer is done.
+            yield produced
+            done.set_value(produced.value + 1)
+
+        rt.spawn(Task(consumer, work=FixedWork(phase_ns), name=f"consumer#{i}"))
+        outputs.append(done)
+    result = rt.run()
+    for i, f in enumerate(outputs):
+        if f.value != i * i + 1:
+            raise RuntimeError(f"consumer#{i} produced {f.value}")
+    return result

@@ -1,0 +1,61 @@
+"""The paper's core contribution: granularity metrics and their uses.
+
+- :mod:`repro.core.metrics` — the six equations of Sec. II-A plus the
+  pending-queue alternatives;
+- :mod:`repro.core.characterize` — the experimental methodology: sweep grain
+  size, repeat runs, aggregate mean/stddev/COV, classify regions;
+- :mod:`repro.core.selection` — grain-size selection rules (idle-rate
+  threshold, pending-queue minimum, minimum-time oracle);
+- :mod:`repro.core.tuner` — the adaptive grain-size tuning the paper names
+  as the goal of this research line (Sec. VI), implemented as a feedback
+  controller plus greedy refinement over the dynamic metrics;
+- :mod:`repro.core.policy` — an APEX-style policy engine with a
+  Porterfield-style concurrency-throttling policy (the other half of the
+  paper's Sec. VI integration plan);
+- :mod:`repro.core.timeline` — schedule-level analysis of execution traces
+  (utilization, concurrency profile, waves, critical path, ASCII Gantt).
+"""
+
+from repro.core.metrics import GranularityMetrics, MetricInputs
+from repro.core.characterize import (
+    CharacterizationReport,
+    GrainPoint,
+    characterize,
+    default_partition_sweep,
+)
+from repro.core.selection import (
+    SelectionOutcome,
+    select_by_idle_rate,
+    select_by_min_time,
+    select_by_pending_accesses,
+)
+from repro.core.policy import PolicyEngine, ThrottlingPolicy
+from repro.core.timeline import (
+    concurrency_profile,
+    critical_path_ns,
+    render_gantt,
+    worker_utilization,
+)
+from repro.core.tuner import AdaptiveGrainTuner, TunerConfig, TunerStep
+
+__all__ = [
+    "PolicyEngine",
+    "ThrottlingPolicy",
+    "concurrency_profile",
+    "critical_path_ns",
+    "render_gantt",
+    "worker_utilization",
+    "GranularityMetrics",
+    "MetricInputs",
+    "CharacterizationReport",
+    "GrainPoint",
+    "characterize",
+    "default_partition_sweep",
+    "SelectionOutcome",
+    "select_by_idle_rate",
+    "select_by_min_time",
+    "select_by_pending_accesses",
+    "AdaptiveGrainTuner",
+    "TunerConfig",
+    "TunerStep",
+]

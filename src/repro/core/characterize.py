@@ -1,0 +1,294 @@
+"""The paper's experimental methodology as a reusable driver (Sec. II).
+
+"The experiments for this study comprise executing the HPX parallel
+benchmark [...] over a large range of partition sizes, to vary granularity,
+and for an increasing number of cores for strong scaling performance. [...]
+we make multiple runs and calculate means and standard deviation of these
+counts.  We compute the metrics using the average of the required event
+counts."
+
+:func:`characterize` does exactly that for any workload exposing the
+``(RuntimeConfig, grain) -> RunResult`` protocol:
+
+1. optionally measure the single-core reference ``t_d1`` per grain size
+   ("a one time cost prior to data runs", Sec. II-A);
+2. repeat each (grain, cores) cell ``repetitions`` times with distinct
+   seeds;
+3. aggregate means / standard deviations / COVs;
+4. evaluate the Sec. II-A metrics on the mean counts.
+
+The result, :class:`CharacterizationReport`, is what the figure harnesses
+and the selection rules consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.metrics import GranularityMetrics, MetricInputs
+from repro.runtime.runtime import RunResult, RuntimeConfig
+from repro.util.stats import SampleStats
+from repro.util.tables import format_table
+
+#: The workload protocol: run one experiment at one grain size.
+RunFn = Callable[[RuntimeConfig, int], RunResult]
+
+
+def default_partition_sweep(
+    total_points: int, finest: int = 128, points_per_decade: int = 4
+) -> list[int]:
+    """Geometric grain-size sweep from ``finest`` to the whole domain.
+
+    The paper sweeps partition size 160 → 10⁸ on a log axis; this generates
+    the same coverage for any problem scale (always including the full
+    domain, the coarsest possible grain).
+    """
+    if not 1 <= finest <= total_points:
+        raise ValueError(f"finest={finest} outside 1..{total_points}")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    if finest == total_points:
+        return [total_points]
+    ratio = 10.0 ** (1.0 / points_per_decade)
+    sweep: list[int] = []
+    value = float(finest)
+    while value < total_points:
+        grain = int(round(value))
+        if not sweep or grain > sweep[-1]:
+            sweep.append(grain)
+        value *= ratio
+    if sweep[-1] != total_points:
+        sweep.append(total_points)
+    return sweep
+
+
+@dataclass(frozen=True)
+class GrainPoint:
+    """Aggregated measurements for one grain size at one core count."""
+
+    grain: int
+    num_cores: int
+    repetitions: int
+    execution_time_s: SampleStats
+    idle_rate: SampleStats
+    pending_accesses: SampleStats
+    pending_misses: SampleStats
+    task_duration_ns: SampleStats
+    tasks_executed: int
+    #: metrics evaluated on the mean counts (the paper's procedure)
+    metrics: GranularityMetrics
+    #: t_d1 for this grain (None when the reference pass was skipped)
+    task_duration_1core_ns: float | None
+
+    @property
+    def region(self) -> str:
+        """Coarse qualitative classification of this operating point.
+
+        - ``fine``: per-task management is a large fraction of per-task
+          duration and there are plenty of tasks per core — the left wall of
+          Fig. 3;
+        - ``coarse``: workers are starved: few tasks per core and average
+          concurrency well below the core count — the right wall;
+        - ``medium``: the flat middle where wait time governs.
+        """
+        m = self.metrics
+        t = m.execution_time_ns
+        if t <= 0 or self.tasks_executed == 0:
+            return "medium"
+        overhead_ratio = (
+            m.task_overhead_ns / m.task_duration_ns
+            if m.task_duration_ns > 0
+            else float("inf")
+        )
+        tasks_per_core = self.tasks_executed / self.num_cores
+        utilization = m.task_duration_ns * self.tasks_executed / (
+            t * self.num_cores
+        )
+        if tasks_per_core < 64 and utilization < 0.6 and self.num_cores > 1:
+            return "coarse"
+        if overhead_ratio > 0.5 and tasks_per_core >= 64:
+            return "fine"
+        return "medium"
+
+
+@dataclass
+class CharacterizationReport:
+    """All grain points for one (platform, cores, scheduler) configuration."""
+
+    platform_name: str
+    num_cores: int
+    scheduler: str
+    points: list[GrainPoint] = field(default_factory=list)
+
+    def grains(self) -> list[int]:
+        return [p.grain for p in self.points]
+
+    def point_at(self, grain: int) -> GrainPoint:
+        for p in self.points:
+            if p.grain == grain:
+                return p
+        raise KeyError(f"no grain point {grain}")
+
+    def series(self, quantity: str) -> list[tuple[int, float]]:
+        """(grain, value) pairs for a named quantity.
+
+        Supported: ``execution_time_s``, ``idle_rate``, ``pending_accesses``,
+        ``pending_misses``, ``task_duration_ns``, ``wait_per_core_s``,
+        ``tm_per_core_s``, ``combined_cost_s``, ``wait_per_task_ns``.
+        """
+        out: list[tuple[int, float]] = []
+        for p in self.points:
+            if quantity == "execution_time_s":
+                value: float | None = p.execution_time_s.mean
+            elif quantity == "idle_rate":
+                value = p.idle_rate.mean
+            elif quantity == "pending_accesses":
+                value = p.pending_accesses.mean
+            elif quantity == "pending_misses":
+                value = p.pending_misses.mean
+            elif quantity == "task_duration_ns":
+                value = p.task_duration_ns.mean
+            elif quantity == "wait_per_core_s":
+                w = p.metrics.wait_time_per_core_ns
+                value = None if w is None else w / 1e9
+            elif quantity == "tm_per_core_s":
+                value = p.metrics.thread_management_per_core_ns / 1e9
+            elif quantity == "combined_cost_s":
+                c = p.metrics.combined_cost_ns
+                value = None if c is None else c / 1e9
+            elif quantity == "wait_per_task_ns":
+                w = p.metrics.wait_time_per_task_ns
+                value = None if w is None else w
+            else:
+                raise KeyError(f"unknown quantity {quantity!r}")
+            if value is not None:
+                out.append((p.grain, value))
+        return out
+
+    def to_table(self) -> str:
+        headers = [
+            "grain",
+            "tasks",
+            "time(s)",
+            "cov",
+            "idle-rate",
+            "t_d(us)",
+            "t_o(us)",
+            "T_o(s)",
+            "T_w(s)",
+            "pendQ",
+            "region",
+        ]
+        rows = []
+        for p in self.points:
+            tw = p.metrics.wait_time_per_core_ns
+            rows.append(
+                [
+                    p.grain,
+                    p.tasks_executed,
+                    round(p.execution_time_s.mean, 4),
+                    round(p.execution_time_s.cov, 3),
+                    round(p.idle_rate.mean, 3),
+                    round(p.metrics.task_duration_ns / 1e3, 2),
+                    round(p.metrics.task_overhead_ns / 1e3, 2),
+                    round(p.metrics.thread_management_per_core_ns / 1e9, 4),
+                    "n/a" if tw is None else round(tw / 1e9, 4),
+                    int(p.pending_accesses.mean),
+                    p.region,
+                ]
+            )
+        title = (
+            f"{self.platform_name} | {self.num_cores} cores | "
+            f"{self.scheduler} scheduler"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def characterize(
+    run_fn: RunFn,
+    grains: Sequence[int],
+    *,
+    platform: str = "haswell",
+    num_cores: int = 8,
+    scheduler: str = "priority-local",
+    repetitions: int = 3,
+    seed: int = 0,
+    measure_single_core_reference: bool = True,
+) -> CharacterizationReport:
+    """Run the paper's methodology over ``grains``; see module docstring."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    report = CharacterizationReport(
+        platform_name=platform, num_cores=num_cores, scheduler=scheduler
+    )
+
+    for grain in grains:
+        td1: float | None = None
+        if measure_single_core_reference and num_cores > 1:
+            ref = run_fn(
+                RuntimeConfig(
+                    platform=platform, num_cores=1, scheduler=scheduler,
+                    seed=seed,
+                ),
+                grain,
+            )
+            td1 = ref.task_duration_ns
+        elif measure_single_core_reference:
+            # On one core t_d1 == t_d by definition; measured below.
+            pass
+
+        runs: list[RunResult] = []
+        for rep in range(repetitions):
+            cfg = RuntimeConfig(
+                platform=platform,
+                num_cores=num_cores,
+                scheduler=scheduler,
+                seed=seed + 1 + rep,
+            )
+            runs.append(run_fn(cfg, grain))
+
+        if measure_single_core_reference and num_cores == 1:
+            td1 = sum(r.task_duration_ns for r in runs) / len(runs)
+
+        mean_inputs = MetricInputs(
+            execution_time_ns=_mean(r.execution_time_ns for r in runs),
+            cumulative_exec_ns=_mean(r.cumulative_exec_ns for r in runs),
+            cumulative_func_ns=_mean(r.cumulative_func_ns for r in runs),
+            tasks_executed=int(
+                _mean(r.counters.get("/threads/count/cumulative") for r in runs)
+            ),
+            num_cores=num_cores,
+            pending_accesses=_mean(r.pending_accesses for r in runs),
+            pending_misses=_mean(r.pending_misses for r in runs),
+            task_duration_1core_ns=td1,
+        )
+        report.points.append(
+            GrainPoint(
+                grain=grain,
+                num_cores=num_cores,
+                repetitions=repetitions,
+                execution_time_s=SampleStats.from_samples(
+                    [r.execution_time_s for r in runs]
+                ),
+                idle_rate=SampleStats.from_samples([r.idle_rate for r in runs]),
+                pending_accesses=SampleStats.from_samples(
+                    [r.pending_accesses for r in runs]
+                ),
+                pending_misses=SampleStats.from_samples(
+                    [r.pending_misses for r in runs]
+                ),
+                task_duration_ns=SampleStats.from_samples(
+                    [r.task_duration_ns for r in runs]
+                ),
+                tasks_executed=mean_inputs.tasks_executed,
+                metrics=GranularityMetrics.compute(mean_inputs),
+                task_duration_1core_ns=td1,
+            )
+        )
+    return report
+
+
+def _mean(values) -> float:
+    xs = list(values)
+    return sum(xs) / len(xs)

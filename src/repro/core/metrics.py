@@ -1,0 +1,174 @@
+"""The granularity metrics of Sec. II-A — the paper's analytical core.
+
+Given the raw counter readings of one run (and optionally the single-core
+reference run for the same grain size), :class:`GranularityMetrics.compute`
+evaluates:
+
+====  =============================================  =========================
+Eq.   Metric                                          Definition
+====  =============================================  =========================
+ 1    idle-rate ``Ir``                                ``(Σt_func − Σt_exec) / Σt_func``
+ 2    task duration ``t_d``                           ``Σt_exec / n_t``
+ 3    task overhead ``t_o``                           ``(Σt_func − Σt_exec) / n_t``
+ 4    thread-management overhead per core ``T_o``     ``t_o · n_t / n_c``
+ 5    wait time per task ``t_w``                      ``t_d − t_d1``
+ 6    wait time per core ``T_w``                      ``(t_d − t_d1) · n_t / n_c``
+====  =============================================  =========================
+
+plus the timestamp-free pending-queue metrics (accesses and misses), which
+the paper offers as "viable alternatives" on platforms without cheap
+timestamps.
+
+Interpretation note (matches both HPX and the paper's figures): ``Σt_func``
+is the total worker wall time, so Eq. 3's "overhead" charges *starvation* as
+well as management against the tasks.  That is why the paper's Fig. 7 shows
+the thread-management curve rising again at coarse grain, and why idle-rate
+climbs at both extremes (Sec. IV-A/IV-B).
+
+Wait time (Eq. 5) "can be negative since behaviors such as caching effects
+can cause the time for one core to be larger than that for multiple cores";
+the sign is preserved here, never clamped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.runtime.runtime import RunResult
+
+
+@dataclass(frozen=True)
+class MetricInputs:
+    """Raw event counts required by the equations.
+
+    ``task_duration_1core_ns`` is ``t_d1``: the average task duration of the
+    *same experiment run on one core* (Eq. 5).  The paper takes it "at a one
+    time cost prior to data runs"; pass ``None`` when unavailable and the
+    wait-time metrics become ``None``.
+    """
+
+    execution_time_ns: float
+    cumulative_exec_ns: float
+    cumulative_func_ns: float
+    tasks_executed: int
+    num_cores: int
+    pending_accesses: float = 0.0
+    pending_misses: float = 0.0
+    task_duration_1core_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.tasks_executed < 0:
+            raise ValueError("tasks_executed must be >= 0")
+        if self.cumulative_func_ns + 1e-9 < self.cumulative_exec_ns:
+            raise ValueError(
+                "Σt_func must be >= Σt_exec "
+                f"({self.cumulative_func_ns} < {self.cumulative_exec_ns})"
+            )
+
+    @classmethod
+    def from_run_result(
+        cls,
+        result: "RunResult",
+        task_duration_1core_ns: float | None = None,
+    ) -> "MetricInputs":
+        """Extract the inputs from a completed :class:`RunResult`."""
+        return cls(
+            execution_time_ns=float(result.execution_time_ns),
+            cumulative_exec_ns=result.cumulative_exec_ns,
+            cumulative_func_ns=result.cumulative_func_ns,
+            tasks_executed=int(
+                result.counters.get("/threads/count/cumulative")
+            ),
+            num_cores=result.num_cores,
+            pending_accesses=result.pending_accesses,
+            pending_misses=result.pending_misses,
+            task_duration_1core_ns=task_duration_1core_ns,
+        )
+
+
+@dataclass(frozen=True)
+class GranularityMetrics:
+    """The evaluated metrics of Sec. II-A for one run."""
+
+    execution_time_ns: float
+    #: Eq. 1
+    idle_rate: float
+    #: Eq. 2, t_d
+    task_duration_ns: float
+    #: Eq. 3, t_o
+    task_overhead_ns: float
+    #: Eq. 4, T_o
+    thread_management_per_core_ns: float
+    #: Eq. 5, t_w (None without a single-core reference)
+    wait_time_per_task_ns: float | None
+    #: Eq. 6, T_w (None without a single-core reference)
+    wait_time_per_core_ns: float | None
+    pending_accesses: float
+    pending_misses: float
+    tasks_executed: int
+    num_cores: int
+
+    @classmethod
+    def compute(cls, inputs: MetricInputs) -> "GranularityMetrics":
+        """Evaluate Eq. 1-6 from raw counts.
+
+        Degenerate cases follow the counters' conventions: with zero tasks
+        every per-task quantity is 0, and idle-rate is 0 when no worker time
+        has accumulated.
+        """
+        func = inputs.cumulative_func_ns
+        exec_ = inputs.cumulative_exec_ns
+        nt = inputs.tasks_executed
+        nc = inputs.num_cores
+
+        idle_rate = (func - exec_) / func if func > 0 else 0.0
+        td = exec_ / nt if nt else 0.0
+        to = (func - exec_) / nt if nt else 0.0
+        to_total = to * nt / nc
+
+        tw: float | None = None
+        tw_total: float | None = None
+        if inputs.task_duration_1core_ns is not None:
+            tw = td - inputs.task_duration_1core_ns
+            tw_total = tw * nt / nc
+
+        return cls(
+            execution_time_ns=inputs.execution_time_ns,
+            idle_rate=idle_rate,
+            task_duration_ns=td,
+            task_overhead_ns=to,
+            thread_management_per_core_ns=to_total,
+            wait_time_per_task_ns=tw,
+            wait_time_per_core_ns=tw_total,
+            pending_accesses=inputs.pending_accesses,
+            pending_misses=inputs.pending_misses,
+            tasks_executed=nt,
+            num_cores=nc,
+        )
+
+    @property
+    def combined_cost_ns(self) -> float | None:
+        """Fig. 7/8's "HPX-TM & WT": management plus wait time per core.
+
+        The paper shows this combination mimics the execution-time curve —
+        the driving costs of the benchmark.  ``None`` without a single-core
+        reference.
+        """
+        if self.wait_time_per_core_ns is None:
+            return None
+        return self.thread_management_per_core_ns + self.wait_time_per_core_ns
+
+    @property
+    def pending_miss_rate(self) -> float:
+        """Fraction of pending-queue accesses that found no work."""
+        if self.pending_accesses <= 0:
+            return 0.0
+        return self.pending_misses / self.pending_accesses
+
+    @property
+    def execution_time_s(self) -> float:
+        return self.execution_time_ns / 1e9

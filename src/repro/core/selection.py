@@ -1,0 +1,102 @@
+"""Grain-size selection rules (paper Sec. IV-A and IV-E).
+
+Three ways to pick an operating grain size from a characterization:
+
+- :func:`select_by_idle_rate` — "an acceptable grain size can be determined
+  by setting a threshold for the idle-rate": the smallest grain whose
+  idle-rate is at or below the threshold.  The paper's worked example:
+  Haswell, 28 cores, 30 % threshold → partition 78,125, whose execution time
+  is within one standard deviation of the minimum (Sec. IV-A).
+- :func:`select_by_pending_accesses` — the grain minimizing total pending-
+  queue accesses; "gives similar results to the idle-rate metric but does
+  not require timestamps" (Sec. IV-E; within 13 % of the minimum time in the
+  paper's example).
+- :func:`select_by_min_time` — the oracle: argmin of measured execution
+  time.  Useful as the baseline the other two rules are judged against.
+
+All three return a :class:`SelectionOutcome` that records the chosen grain
+and how close it came to the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.characterize import CharacterizationReport, GrainPoint
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """A chosen grain size and its quality relative to the best measured."""
+
+    rule: str
+    grain: int
+    execution_time_s: float
+    best_grain: int
+    best_execution_time_s: float
+    #: chosen-vs-best time ratio (1.0 = matched the oracle)
+    slowdown: float
+    #: True when the chosen time is within one stddev of the best point's
+    #: mean — the paper's criterion for "as good as the minimum"
+    within_one_stddev: bool
+
+    def summary(self) -> str:
+        return (
+            f"{self.rule}: grain={self.grain} time={self.execution_time_s:.4f}s "
+            f"(best grain={self.best_grain} at {self.best_execution_time_s:.4f}s, "
+            f"slowdown x{self.slowdown:.3f}, "
+            f"{'within' if self.within_one_stddev else 'outside'} 1 stddev)"
+        )
+
+
+def _best_point(report: CharacterizationReport) -> GrainPoint:
+    if not report.points:
+        raise ValueError("empty characterization report")
+    return min(report.points, key=lambda p: p.execution_time_s.mean)
+
+
+def _outcome(rule: str, chosen: GrainPoint, report: CharacterizationReport) -> SelectionOutcome:
+    best = _best_point(report)
+    chosen_t = chosen.execution_time_s.mean
+    best_t = best.execution_time_s.mean
+    return SelectionOutcome(
+        rule=rule,
+        grain=chosen.grain,
+        execution_time_s=chosen_t,
+        best_grain=best.grain,
+        best_execution_time_s=best_t,
+        slowdown=chosen_t / best_t if best_t > 0 else float("inf"),
+        within_one_stddev=best.execution_time_s.within_stddev(chosen_t),
+    )
+
+
+def select_by_idle_rate(
+    report: CharacterizationReport, threshold: float = 0.30
+) -> SelectionOutcome:
+    """Smallest grain whose mean idle-rate does not exceed ``threshold``.
+
+    Falls back to the grain with the lowest idle-rate when no point meets
+    the threshold (a warning sign that the sweep never left the walls).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    eligible = [p for p in report.points if p.idle_rate.mean <= threshold]
+    if eligible:
+        chosen = min(eligible, key=lambda p: p.grain)
+    else:
+        chosen = min(report.points, key=lambda p: p.idle_rate.mean)
+    return _outcome(f"idle-rate<={threshold:.0%}", chosen, report)
+
+
+def select_by_pending_accesses(report: CharacterizationReport) -> SelectionOutcome:
+    """Grain with the fewest total pending-queue accesses (Sec. IV-E)."""
+    if not report.points:
+        raise ValueError("empty characterization report")
+    chosen = min(report.points, key=lambda p: (p.pending_accesses.mean, p.grain))
+    return _outcome("min-pending-accesses", chosen, report)
+
+
+def select_by_min_time(report: CharacterizationReport) -> SelectionOutcome:
+    """The oracle rule: grain with the smallest measured execution time."""
+    chosen = _best_point(report)
+    return _outcome("min-time-oracle", chosen, report)

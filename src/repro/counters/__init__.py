@@ -1,0 +1,41 @@
+"""Performance-monitoring substrate modelled on HPX performance counters.
+
+HPX exposes hardware and software event counts as *first-class objects*, each
+addressable by a symbolic name such as ``/threads{locality#0/total}/idle-rate``
+(Sec. I-B of the paper).  This package reproduces that design in Python:
+
+- :mod:`repro.counters.names` — the counter-name grammar and parser;
+- :mod:`repro.counters.counter` — counter kinds (raw, value, average, derived);
+- :mod:`repro.counters.registry` — the name → counter registry with wildcard
+  discovery and snapshotting;
+- :mod:`repro.counters.interval` — interval sampling for dynamic monitoring,
+  the mechanism the paper proposes for runtime grain-size adaptation.
+
+The counters relevant to the paper's metrics are pre-declared in
+:data:`repro.counters.names.WELL_KNOWN_COUNTERS`.
+"""
+
+from repro.counters.counter import (
+    AverageCounter,
+    Counter,
+    DerivedCounter,
+    RawCounter,
+    ValueCounter,
+)
+from repro.counters.interval import IntervalSampler, IntervalSample
+from repro.counters.names import CounterName, parse_counter_name
+from repro.counters.registry import CounterRegistry, CounterSnapshot
+
+__all__ = [
+    "AverageCounter",
+    "Counter",
+    "DerivedCounter",
+    "RawCounter",
+    "ValueCounter",
+    "IntervalSampler",
+    "IntervalSample",
+    "CounterName",
+    "parse_counter_name",
+    "CounterRegistry",
+    "CounterSnapshot",
+]

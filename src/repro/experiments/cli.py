@@ -1,0 +1,158 @@
+"""Command-line driver: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments fig4 --scale smoke
+    repro-experiments all --scale default --markdown EXPERIMENTS.generated.md
+
+Each experiment prints its rendered tables/plots and the outcome of its
+shape checks; the exit code is the number of experiments whose checks
+failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from types import ModuleType
+
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.report import FigureResult
+
+#: experiment name -> implementing module
+EXPERIMENT_MODULES: dict[str, str] = {
+    "table1": "repro.experiments.table1_platforms",
+    "fig3": "repro.experiments.fig3_execution_time",
+    "fig4": "repro.experiments.fig4_idle_rate_haswell",
+    "fig5": "repro.experiments.fig5_idle_rate_phi",
+    "fig6": "repro.experiments.fig6_wait_time",
+    "fig7": "repro.experiments.fig7_decomposition_haswell",
+    "fig8": "repro.experiments.fig8_decomposition_phi",
+    "fig9": "repro.experiments.fig9_pending_queue_haswell",
+    "fig10": "repro.experiments.fig10_pending_queue_phi",
+    "selection": "repro.experiments.selection_experiment",
+    "tuner": "repro.experiments.tuner_experiment",
+    "ablation": "repro.experiments.ablations",
+    "throttling": "repro.experiments.throttling_experiment",
+    "cov": "repro.experiments.cov_experiment",
+    "wavefront": "repro.experiments.wavefront_generality",
+}
+
+
+def load_experiment(name: str) -> ModuleType:
+    try:
+        module_name = EXPERIMENT_MODULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; expected one of "
+            f"{sorted(EXPERIMENT_MODULES)} or 'all'"
+        ) from None
+    return importlib.import_module(module_name)
+
+
+def run_experiment(name: str, scale_name: str) -> tuple[FigureResult, list[str], float]:
+    """Run one experiment; returns (result, check problems, wall seconds)."""
+    module = load_experiment(name)
+    scale = get_scale(scale_name)
+    start = time.perf_counter()
+    fig = module.run(scale)
+    problems = module.shape_checks(fig)
+    return fig, problems, time.perf_counter() - start
+
+
+def experiment_markdown(name: str, fig: FigureResult, problems: list[str]) -> str:
+    """EXPERIMENTS.md section: paper claims vs measured data vs checks."""
+    module = load_experiment(name)
+    lines = [f"## {fig.figure_id}: {fig.title}", ""]
+    lines.append("**Paper claims**")
+    lines.append("")
+    for claim in getattr(module, "PAPER_CLAIMS", []):
+        lines.append(f"- {claim}")
+    lines.append("")
+    lines.append("**Measured (this reproduction)**")
+    lines.append("")
+    lines.append(fig.to_markdown())
+    lines.append("**Shape checks**")
+    lines.append("")
+    if problems:
+        lines.extend(f"- FAIL: {p}" for p in problems)
+    else:
+        lines.append("- all qualitative claims reproduced")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (see --list) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=sorted(SCALES),
+        help="problem scale (default: bench)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--no-plots", action="store_true", help="tables only, no ASCII plots"
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="also write an EXPERIMENTS.md-style report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, module_name in EXPERIMENT_MODULES.items():
+            module = importlib.import_module(module_name)
+            print(f"{name:10s} {module.TITLE}")
+        return 0
+
+    names = list(args.experiments)
+    if not names:
+        parser.error("no experiments given (try --list or 'all')")
+    if names == ["all"]:
+        names = list(EXPERIMENT_MODULES)
+
+    failures = 0
+    sections: list[str] = []
+    for name in names:
+        print(f"--- running {name} at scale={args.scale} ---", flush=True)
+        fig, problems, wall = run_experiment(name, args.scale)
+        print(fig.render(plots=not args.no_plots))
+        print(f"[{name}] completed in {wall:.1f}s wall time")
+        if problems:
+            failures += 1
+            for p in problems:
+                print(f"[{name}] SHAPE-CHECK FAIL: {p}")
+        else:
+            print(f"[{name}] all shape checks passed")
+        sections.append(experiment_markdown(name, fig, problems))
+        print()
+
+    if args.markdown:
+        header = (
+            "# Experiment report (generated)\n\n"
+            f"Scale: `{args.scale}`.  Regenerate with "
+            f"`repro-experiments {' '.join(names)} --scale {args.scale} "
+            f"--markdown <path>`.\n\n"
+        )
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(header + "\n".join(sections))
+        print(f"wrote {args.markdown}")
+
+    return failures
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Experiment scales.
+
+The paper computes 100 million grid points for 50 time steps (5 on the Xeon
+Phi).  Simulating the *scheduling* of that problem in Python is possible in
+principle but pointless in practice (millions of simulated tasks per data
+point); the shape claims depend on tasks-per-core and grain size, both of
+which are preserved at reduced scale.  Four presets:
+
+- ``smoke`` — seconds; used by unit tests of the harness itself;
+- ``bench`` — tens of seconds per figure; used by ``benchmarks/``;
+- ``default`` — minutes per figure; used to generate EXPERIMENTS.md;
+- ``paper`` — the full 10⁸-point problem, defined for completeness and
+  documented as impractical under CPython (hours to days per figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sweep sizing for every experiment."""
+
+    name: str
+    total_points: int
+    time_steps: int
+    #: the paper uses fewer steps on the coprocessor (5 vs 50)
+    phi_time_steps: int
+    repetitions: int
+    finest_partition: int
+    #: grain samples per decade of the log sweep
+    points_per_decade: int
+    #: problem size for Fig. 6's linear-axis wait-time window (the window
+    #: 10k-90k points/partition needs enough partitions per core count)
+    fig6_total_points: int
+    #: epochs the adaptive tuner may spend
+    tuner_max_epochs: int = 25
+
+    def time_steps_for(self, platform: str) -> int:
+        return self.phi_time_steps if platform == "xeon-phi" else self.time_steps
+
+    def with_(self, **kwargs) -> "Scale":
+        return replace(self, **kwargs)
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        total_points=1 << 20,
+        time_steps=3,
+        phi_time_steps=2,
+        repetitions=1,
+        finest_partition=512,
+        points_per_decade=2,
+        fig6_total_points=1 << 21,
+        tuner_max_epochs=12,
+    ),
+    "bench": Scale(
+        name="bench",
+        total_points=1 << 21,
+        time_steps=5,
+        phi_time_steps=2,
+        repetitions=1,
+        finest_partition=256,
+        points_per_decade=3,
+        fig6_total_points=1 << 22,
+    ),
+    "default": Scale(
+        name="default",
+        total_points=1 << 22,
+        time_steps=10,
+        phi_time_steps=3,
+        repetitions=3,
+        finest_partition=160,
+        points_per_decade=3,
+        fig6_total_points=1 << 23,
+    ),
+    "paper": Scale(
+        name="paper",
+        total_points=100_000_000,
+        time_steps=50,
+        phi_time_steps=5,
+        repetitions=10,
+        finest_partition=160,
+        points_per_decade=4,
+        fig6_total_points=100_000_000,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; expected one of {sorted(SCALES)}"
+        ) from None

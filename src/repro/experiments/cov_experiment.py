@@ -1,0 +1,88 @@
+"""Measurement-variability study (paper Sec. IV, first paragraph).
+
+"COVs for execution times and event counts are less than 10%, (most are
+less than 3%) for experiments using less than 16 cores.  For a few sample
+sets using more than 16 cores and when the partition size is less than
+32,000, COVs range up to 21% on the Haswell node."
+
+The simulated runs vary by seed (cost-model jitter changes the event
+interleaving, which changes stealing and wave alignment), so the COV
+structure — small in the stable middle, larger at fine grain with many
+cores — should reproduce, if not the exact magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale
+from repro.experiments.harness import stencil_report
+from repro.experiments.report import FigureResult, Series
+
+FIGURE_ID = "cov"
+TITLE = "Coefficient of variation of execution time (Sec. IV methodology)"
+PAPER_CLAIMS = [
+    "COVs are small (mostly < 3%, all < 10%) below 16 cores",
+    "COVs grow for fine partitions at high core counts",
+]
+
+PLATFORM = "haswell"
+LOW_CORES = 8
+HIGH_CORES = 28
+#: grains finer than this are the paper's "unstable" set at high core count
+FINE_BOUNDARY = 32_000
+
+
+def run(scale: Scale) -> FigureResult:
+    scale = scale.with_(repetitions=max(4, scale.repetitions))
+    fig = FigureResult(
+        figure_id=FIGURE_ID,
+        title=TITLE,
+        xlabel="partition size (grid points)",
+        ylabel="COV of execution time",
+    )
+    fig.notes.append(f"scale={scale.name}, {scale.repetitions} repetitions/cell")
+    for cores in (LOW_CORES, HIGH_CORES):
+        report = stencil_report(
+            scale, PLATFORM, cores, measure_single_core_reference=False
+        )
+        fig.add_series(
+            f"{PLATFORM}",
+            Series(
+                f"{cores} cores",
+                [(p.grain, p.execution_time_s.cov) for p in report.points],
+            ),
+        )
+    return fig
+
+
+def shape_checks(fig: FigureResult) -> list[str]:
+    problems: list[str] = []
+    (panel,) = fig.panels
+    by_label = {s.label: s.points for s in fig.panels[panel]}
+    low = by_label[f"{LOW_CORES} cores"]
+    high = by_label[f"{HIGH_CORES} cores"]
+
+    # Low core count: every COV < 10%, most < 3%.
+    if any(v >= 0.10 for _, v in low):
+        problems.append(
+            f"cov: {LOW_CORES}-core COVs exceed 10%: "
+            f"{[(g, round(v, 3)) for g, v in low if v >= 0.10]}"
+        )
+    small = sum(1 for _, v in low if v < 0.03)
+    if small < len(low) / 2:
+        problems.append(
+            f"cov: fewer than half the {LOW_CORES}-core COVs are below 3%"
+        )
+
+    # High core count: fine-grain COVs exceed the mid-region's (compare
+    # medians: single cells are noisy by definition here).
+    fine_covs = sorted(v for g, v in high if g < FINE_BOUNDARY)
+    mid_covs = sorted(v for g, v in high if g >= FINE_BOUNDARY)
+    if fine_covs and mid_covs:
+        fine_median = fine_covs[len(fine_covs) // 2]
+        mid_median = mid_covs[len(mid_covs) // 2]
+        if fine_median <= mid_median:
+            problems.append(
+                "cov: fine-grain COVs not elevated at high core count "
+                f"(median fine {fine_median:.3f} <= median mid {mid_median:.3f})"
+            )
+    return problems

@@ -1,0 +1,101 @@
+"""Fig. 3: execution time vs. task granularity across the four platforms.
+
+Paper (Sec. IV): "On all platforms, execution time is large for very
+fine-grained tasks due to overheads caused by task management and for
+coarse-grained tasks where overheads are caused by poor load balance, not
+enough work to spread among the cores.  In between these areas, we expect to
+see the execution time flatten out."
+
+One panel per platform (Fig. 3a-d), one series per core count, exactly the
+core counts the paper plots (``PlatformSpec.fig3_core_counts``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale
+from repro.experiments.harness import check_high_at_fine_end, check_u_shape, stencil_report
+from repro.experiments.report import FigureResult, Series
+from repro.sim.platforms import PLATFORMS
+
+FIGURE_ID = "fig3"
+TITLE = "Execution Time vs. Task Granularity (partition size)"
+PAPER_CLAIMS = [
+    "execution time is U-shaped in partition size on every platform "
+    "(task-management wall at the fine end, starvation at the coarse end)",
+    "the curve flattens in the middle region",
+    "beyond ~8 cores additional cores barely improve the best execution "
+    "time (strong scaling is impaired by wait time)",
+]
+
+#: platform key -> paper sub-figure label
+PANELS = {
+    "sandy-bridge": "(a) Sandy Bridge",
+    "ivy-bridge": "(b) Ivy Bridge",
+    "haswell": "(c) Haswell",
+    "xeon-phi": "(d) Xeon Phi (1 thread per core)",
+}
+
+
+def run(scale: Scale, platforms: list[str] | None = None) -> FigureResult:
+    fig = FigureResult(
+        figure_id=FIGURE_ID,
+        title=TITLE,
+        xlabel="partition size (grid points)",
+        ylabel="execution time (s)",
+    )
+    fig.notes.append(
+        f"scale={scale.name}: {scale.total_points} grid points, "
+        f"{scale.time_steps} time steps ({scale.phi_time_steps} on the Phi), "
+        f"{scale.repetitions} repetition(s); the paper uses 1e8 points"
+    )
+    for key in platforms if platforms is not None else list(PANELS):
+        spec = PLATFORMS[key]
+        panel = PANELS[key]
+        for cores in spec.fig3_core_counts:
+            report = stencil_report(
+                scale, key, cores, measure_single_core_reference=False
+            )
+            fig.add_series(
+                panel,
+                Series(f"{cores} cores", report.series("execution_time_s")),
+            )
+    return fig
+
+
+def shape_checks(fig: FigureResult) -> list[str]:
+    problems: list[str] = []
+    for panel, series_list in fig.panels.items():
+        for series in series_list:
+            label = f"{FIGURE_ID} {panel} {series.label}"
+            cores = int(series.label.split()[0])
+            if cores == 1:
+                # A single core cannot starve; only the fine-grained wall
+                # is expected (Fig. 3's 1-core curves stay flat on the
+                # right).  10% elevation suffices: the wall's height at the
+                # sweep's finest grain depends on how fine the sweep goes
+                # (the paper's 160-point partitions sit below the bench
+                # scale's 256).
+                problems += check_high_at_fine_end(
+                    series.points,
+                    label,
+                    floor=1.1 * min(y for _, y in series.points),
+                )
+            else:
+                problems += check_u_shape(series.points, label)
+    # Strong-scaling impairment: the minimum time stops improving with cores.
+    for panel, series_list in fig.panels.items():
+        by_cores = {
+            int(s.label.split()[0]): min(y for _, y in s.points)
+            for s in series_list
+        }
+        cores_sorted = sorted(by_cores)
+        if len(cores_sorted) >= 3:
+            top = by_cores[cores_sorted[-1]]
+            mid = by_cores[cores_sorted[-3]]
+            if top < mid * 0.55:
+                problems.append(
+                    f"{FIGURE_ID} {panel}: best time still scales strongly at "
+                    f"high core counts ({mid:.4g}s -> {top:.4g}s); the paper's "
+                    "curves saturate"
+                )
+    return problems

@@ -1,0 +1,95 @@
+"""Fig. 6: wait time per HPX-thread on Haswell.
+
+Paper (Sec. IV-C): "Results from our experiments show that the wait time per
+HPX-thread increases with the number of cores and with the partition size."
+
+The paper plots partition sizes 10,000-90,000 on a *linear* axis for 4, 8,
+16 and 28 cores.  The tasks-per-core regime matters here: at the paper's
+10⁸-point scale this window has 1,100+ partitions per step, far more than 28
+cores, so starvation never intrudes.  The experiment therefore uses
+``scale.fig6_total_points`` (larger than the generic sweep's default) to
+stay in the same regime.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale
+from repro.experiments.harness import check_monotone_increase, stencil_report
+from repro.experiments.report import FigureResult, Series
+
+FIGURE_ID = "fig6"
+TITLE = "Wait Time per HPX-Thread (Haswell)"
+PAPER_CLAIMS = [
+    "wait time per task increases with partition size",
+    "wait time per task increases with the number of cores",
+]
+
+CORES = (4, 8, 16, 28)
+#: the paper's linear-axis partition window
+GRAINS = (10_000, 30_000, 50_000, 70_000, 90_000)
+
+
+def grains_for(scale: Scale) -> list[int]:
+    """The paper's window, shrunk proportionally for small smoke scales."""
+    if scale.fig6_total_points >= GRAINS[-1] * 40:
+        return list(GRAINS)
+    factor = scale.fig6_total_points / (GRAINS[-1] * 40)
+    return sorted({max(64, int(g * factor)) for g in GRAINS})
+
+
+def run(scale: Scale) -> FigureResult:
+    fig = FigureResult(
+        figure_id=FIGURE_ID,
+        title=TITLE,
+        xlabel="partition size (grid points)",
+        ylabel="wait time per task (us)",
+        logx=False,
+    )
+    grains = grains_for(scale)
+    fig.notes.append(
+        f"scale={scale.name}; total points={scale.fig6_total_points}; "
+        f"grains={grains}"
+    )
+    for nc in CORES:
+        report = stencil_report(
+            scale,
+            "haswell",
+            nc,
+            grains=grains,
+            total_points=scale.fig6_total_points,
+            measure_single_core_reference=True,
+        )
+        fig.add_series(
+            f"haswell {len(CORES)} core counts",
+            Series(
+                f"{nc} cores",
+                [(g, w / 1e3) for g, w in report.series("wait_per_task_ns")],
+            ),
+        )
+    return fig
+
+
+def shape_checks(fig: FigureResult) -> list[str]:
+    problems: list[str] = []
+    (panel,) = fig.panels
+    series_list = fig.panels[panel]
+    for series in series_list:
+        problems += check_monotone_increase(
+            series.points, f"{FIGURE_ID} {series.label} vs partition size",
+            slack=0.10,
+        )
+    # Ordering in core count at each shared grain.
+    by_cores = {int(s.label.split()[0]): dict(s.points) for s in series_list}
+    cores_sorted = sorted(by_cores)
+    for lo, hi in zip(cores_sorted, cores_sorted[1:]):
+        shared = set(by_cores[lo]) & set(by_cores[hi])
+        bad = [
+            g for g in shared
+            if by_cores[hi][g] < by_cores[lo][g] * 0.95 - 1e-12
+        ]
+        if bad:
+            problems.append(
+                f"{FIGURE_ID}: wait time at {hi} cores below {lo} cores for "
+                f"grains {sorted(bad)}"
+            )
+    return problems

@@ -1,0 +1,28 @@
+"""Fig. 7: thread management (TM) and wait time (WT) on Haswell.
+
+See :mod:`repro.experiments.decomposition_common` for the paper context.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale
+from repro.experiments.decomposition_common import (
+    PAPER_CLAIMS,
+    decomposition_shape_checks,
+    run_decomposition_figure,
+)
+from repro.experiments.report import FigureResult
+
+FIGURE_ID = "fig7"
+TITLE = "HPX-Thread Management (TM) and Wait Time (WT): Intel Haswell"
+CORES = (8, 16, 28)
+
+__all__ = ["FIGURE_ID", "TITLE", "PAPER_CLAIMS", "run", "shape_checks"]
+
+
+def run(scale: Scale) -> FigureResult:
+    return run_decomposition_figure(scale, "haswell", CORES, FIGURE_ID, TITLE)
+
+
+def shape_checks(fig: FigureResult) -> list[str]:
+    return decomposition_shape_checks(fig)

@@ -1,0 +1,87 @@
+"""Figure/table result containers and text rendering.
+
+A :class:`FigureResult` is the reproduction of one paper artifact: named
+panels (the paper's sub-figures), each holding named series of (x, y)
+points.  ``render()`` emits aligned tables plus an ASCII plot per panel —
+the terminal-friendly equivalent of the paper's charts — and
+``to_markdown()`` emits the EXPERIMENTS.md section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.asciiplot import plot_series
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve."""
+
+    label: str
+    points: list[tuple[float, float]]
+
+
+@dataclass
+class FigureResult:
+    """The reproduced data for one table/figure."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    #: panel name (e.g. "Haswell 8 cores") -> series
+    panels: dict[str, list[Series]] = field(default_factory=dict)
+    #: free-form commentary (scale used, caveats, in-text claims checked)
+    notes: list[str] = field(default_factory=list)
+    logx: bool = True
+
+    def add_series(self, panel: str, series: Series) -> None:
+        self.panels.setdefault(panel, []).append(series)
+
+    # -- rendering ------------------------------------------------------------
+
+    def _panel_table(self, panel: str) -> str:
+        series = self.panels[panel]
+        xs = sorted({x for s in series for x, _ in s.points})
+        headers = [self.xlabel] + [s.label for s in series]
+        lookup = [{x: y for x, y in s.points} for s in series]
+        rows = []
+        for x in xs:
+            row: list[object] = [x]
+            for m in lookup:
+                row.append(m.get(x, ""))
+            rows.append(row)
+        return format_table(headers, rows, title=f"[{self.figure_id}] {panel}")
+
+    def _panel_plot(self, panel: str) -> str:
+        series = {s.label: s.points for s in self.panels[panel]}
+        return plot_series(
+            series,
+            title=f"[{self.figure_id}] {panel}",
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+            logx=self.logx,
+        )
+
+    def render(self, plots: bool = True) -> str:
+        chunks = [f"=== {self.figure_id}: {self.title} ==="]
+        for panel in self.panels:
+            chunks.append(self._panel_table(panel))
+            if plots:
+                chunks.append(self._panel_plot(panel))
+        if self.notes:
+            chunks.append("notes:")
+            chunks.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(chunks)
+
+    def to_markdown(self) -> str:
+        chunks = [f"### {self.figure_id}: {self.title}\n"]
+        for panel in self.panels:
+            chunks.append(f"**{panel}**\n")
+            chunks.append("```\n" + self._panel_table(panel) + "\n```\n")
+        if self.notes:
+            chunks.extend(f"- {n}" for n in self.notes)
+            chunks.append("")
+        return "\n".join(chunks)

@@ -1,0 +1,94 @@
+"""Table I: platform specifications.
+
+Purely descriptive — the table renders the platform database the simulator
+is configured with, so a reader can diff it against the paper's Table I
+directly.  The shape check verifies the published numbers survived
+transcription into :mod:`repro.sim.platforms`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale
+from repro.experiments.report import FigureResult, Series
+from repro.sim.platforms import PLATFORMS
+from repro.util.tables import format_table
+
+FIGURE_ID = "table1"
+TITLE = "Platform Specifications (Table I)"
+PAPER_CLAIMS = [
+    "Haswell node: Xeon E5-2695 v3, 2.3 GHz (3.3 turbo), 28 cores, "
+    "32 KB L1 + 256 KB L2 per core, 35 MB shared, 128 GB RAM",
+    "Xeon Phi: 1.2 GHz, 61 cores, 4-way hardware threading, 512 KB L2, 8 GB",
+    "Sandy Bridge: Xeon E5 2690, 2.9 GHz (3.8 turbo), 16 cores, 20 MB shared",
+    "Ivy Bridge: 2.3 GHz, 20 cores, 35 MB shared, 128 GB RAM",
+]
+
+
+def render_table() -> str:
+    headers = [
+        "node", "processor", "clock (GHz)", "turbo", "uarch", "HW threads",
+        "cores", "cache/core", "shared", "RAM (GB)",
+    ]
+    rows = []
+    for spec in PLATFORMS.values():
+        rows.append([
+            spec.name,
+            spec.processor,
+            spec.clock_ghz,
+            spec.turbo_ghz if spec.turbo_ghz else "-",
+            spec.microarchitecture,
+            f"{spec.hardware_threads_per_core}-way"
+            + ("" if spec.hardware_threading_active else " (deactivated)"),
+            spec.cores,
+            f"32KB L1, {spec.l2_bytes // 1024}KB L2",
+            f"{spec.shared_l3_bytes // (1024 * 1024)}MB" if spec.shared_l3_bytes else "-",
+            spec.ram_bytes // (1024 ** 3),
+        ])
+    return format_table(headers, rows, title="Table I: Platform Specifications")
+
+
+def run(scale: Scale) -> FigureResult:  # noqa: ARG001 - uniform signature
+    fig = FigureResult(
+        figure_id=FIGURE_ID,
+        title=TITLE,
+        xlabel="platform",
+        ylabel="",
+        logx=False,
+    )
+    # Encode the numeric columns as series so the generic renderer works;
+    # the full text table goes into the notes.
+    fig.add_series(
+        "specifications",
+        Series("cores", [(i, s.cores) for i, s in enumerate(PLATFORMS.values())]),
+    )
+    fig.add_series(
+        "specifications",
+        Series("clock_ghz", [(i, s.clock_ghz) for i, s in enumerate(PLATFORMS.values())]),
+    )
+    fig.notes.append(render_table())
+    return fig
+
+
+def shape_checks(fig: FigureResult) -> list[str]:  # noqa: ARG001
+    """Verify the transcribed Table I values."""
+    problems = []
+    expectations = {
+        "haswell": dict(cores=28, clock_ghz=2.3, turbo_ghz=3.3, numa_domains=2),
+        "xeon-phi": dict(cores=61, clock_ghz=1.2, turbo_ghz=None,
+                         hardware_threads_per_core=4),
+        "sandy-bridge": dict(cores=16, clock_ghz=2.9, turbo_ghz=3.8),
+        "ivy-bridge": dict(cores=20, clock_ghz=2.3),
+    }
+    for key, fields in expectations.items():
+        spec = PLATFORMS[key]
+        for attr, expected in fields.items():
+            actual = getattr(spec, attr)
+            if actual != expected:
+                problems.append(f"{key}.{attr}: {actual} != paper's {expected}")
+    if PLATFORMS["haswell"].l2_bytes != 256 * 1024:
+        problems.append("haswell L2 should be 256 KB")
+    if PLATFORMS["xeon-phi"].l2_bytes != 512 * 1024:
+        problems.append("xeon-phi L2 should be 512 KB")
+    if PLATFORMS["xeon-phi"].shared_l3_bytes is not None:
+        problems.append("xeon-phi has no shared L3 in Table I")
+    return problems

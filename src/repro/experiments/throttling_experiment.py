@@ -1,0 +1,116 @@
+"""Adaptive concurrency throttling (paper Sec. V related work + Sec. VI).
+
+The paper plans to drive Porterfield's throttling scheduler and the APEX
+policy engine "with our metrics" (Sec. VI).  This experiment does exactly
+that on the simulated 28-core Haswell node: the
+:class:`repro.core.policy.ThrottlingPolicy` hill-climbs the active-worker
+count on live interval samples while HPX-Stencil runs.
+
+Expected outcome: in the fine-grained regime — where the per-task
+management cost grows superlinearly with active workers — throttling beats
+the full 28-worker pool; in the medium-grain regime it must do no
+meaningful harm (the controller settles near the full pool).
+"""
+
+from __future__ import annotations
+
+from repro.apps.stencil1d import StencilConfig, build_stencil_graph
+from repro.core.policy import PolicyEngine, ThrottlingPolicy
+from repro.experiments.config import Scale
+from repro.experiments.report import FigureResult, Series
+from repro.runtime.runtime import Runtime, RuntimeConfig
+
+FIGURE_ID = "throttling"
+TITLE = "Adaptive concurrency throttling driven by the paper's metrics"
+PAPER_CLAIMS = [
+    "the dynamic metrics can drive a Porterfield-style throttling policy "
+    "(Sec. VI): at fine grain, reducing active workers cuts contention and "
+    "improves completion time",
+    "at medium grain the policy does no meaningful harm",
+]
+
+PLATFORM = "haswell"
+CORES = 28
+#: throttled / plain time must be below this at the finest probe grain
+FINE_GAIN_REQUIRED = 0.90
+#: and above this (no harm) at the medium grain
+MEDIUM_HARM_ALLOWED = 1.15
+
+
+def _fine_and_medium_grains(scale: Scale) -> tuple[int, int]:
+    fine = max(scale.finest_partition, scale.total_points >> 12)
+    # Medium: 256 partitions per step — enough tasks per core that the
+    # starvation guard leaves the controller alone.
+    medium = scale.total_points >> 8
+    return fine, medium
+
+
+def _run_once(scale: Scale, grain: int, throttle: bool, seed: int):
+    rt = Runtime(RuntimeConfig(platform=PLATFORM, num_cores=CORES, seed=seed))
+    cfg = StencilConfig(
+        total_points=scale.total_points,
+        partition_points=grain,
+        time_steps=scale.time_steps,
+    )
+    build_stencil_graph(rt, cfg)
+    if not throttle:
+        return rt.run(), None, CORES
+    policy = ThrottlingPolicy()
+    engine = PolicyEngine(rt, interval_ns=100_000).add_policy(policy)
+    result = engine.run()
+    return result, policy, rt.executor.active_worker_limit
+
+
+def run(scale: Scale) -> FigureResult:
+    fig = FigureResult(
+        figure_id=FIGURE_ID,
+        title=TITLE,
+        xlabel="partition size (grid points)",
+        ylabel="execution time (s)",
+    )
+    fine, medium = _fine_and_medium_grains(scale)
+    plain_pts, throttled_pts, limit_pts = [], [], []
+    for grain in (fine, medium):
+        plain, _, _ = _run_once(scale, grain, throttle=False, seed=17)
+        throttled, policy, limit = _run_once(scale, grain, throttle=True, seed=17)
+        plain_pts.append((float(grain), plain.execution_time_s))
+        throttled_pts.append((float(grain), throttled.execution_time_s))
+        limit_pts.append((float(grain), float(limit)))
+        assert policy is not None
+        fig.notes.append(
+            f"grain={grain}: plain={plain.execution_time_s:.5f}s, "
+            f"throttled={throttled.execution_time_s:.5f}s, "
+            f"final active workers={limit}/{CORES}, "
+            f"{len(policy.decisions)} adjustments"
+        )
+    panel = f"{PLATFORM} {CORES} cores"
+    fig.add_series(panel, Series("plain (28 workers)", plain_pts))
+    fig.add_series(panel, Series("throttled", throttled_pts))
+    fig.add_series(panel, Series("final worker limit", limit_pts))
+    return fig
+
+
+def shape_checks(fig: FigureResult) -> list[str]:
+    problems: list[str] = []
+    (panel,) = fig.panels
+    by_label = {s.label: dict(s.points) for s in fig.panels[panel]}
+    plain = by_label["plain (28 workers)"]
+    throttled = by_label["throttled"]
+    grains = sorted(plain)
+    fine, medium = grains[0], grains[-1]
+    fine_ratio = throttled[fine] / plain[fine]
+    if fine_ratio > FINE_GAIN_REQUIRED:
+        problems.append(
+            f"throttling: no fine-grain win (throttled/plain = {fine_ratio:.3f}, "
+            f"required <= {FINE_GAIN_REQUIRED})"
+        )
+    medium_ratio = throttled[medium] / plain[medium]
+    if medium_ratio > MEDIUM_HARM_ALLOWED:
+        problems.append(
+            f"throttling: harms medium grain (ratio {medium_ratio:.3f} > "
+            f"{MEDIUM_HARM_ALLOWED})"
+        )
+    limits = by_label["final worker limit"]
+    if limits[fine] >= CORES:
+        problems.append("throttling: never actually reduced workers at fine grain")
+    return problems

@@ -1,0 +1,134 @@
+"""Generality check: the methodology on a second workload class.
+
+The paper studies one benchmark and argues the metrics are
+application-generic ("We are in the process of studying a variety of
+applications with different workloads", Sec. I-C).  This experiment applies
+the identical pipeline — grain sweep, Sec. II-A metrics, idle-rate
+selection rule, adaptive tuner — to the 2-D DP wavefront
+(:mod:`repro.apps.wavefront2d`), whose dependency topology and cost
+profile (compute-bound, pipeline parallelism) differ from the stencil's in
+every respect the cost model distinguishes.
+
+Expected shapes: execution time U-shaped in tile size; idle-rate high at
+both extremes (fine: overhead; coarse: pipeline fill/drain starvation);
+the tuner lands near the sweep optimum.
+"""
+
+from __future__ import annotations
+
+from repro.apps.wavefront2d import wavefront_run_fn
+from repro.core.characterize import characterize
+from repro.core.selection import select_by_idle_rate, select_by_min_time
+from repro.core.tuner import AdaptiveGrainTuner, TunerConfig
+from repro.experiments.config import Scale
+from repro.experiments.harness import check_u_shape
+from repro.experiments.report import FigureResult, Series
+from repro.runtime.runtime import RuntimeConfig
+
+FIGURE_ID = "wavefront"
+TITLE = "Methodology generality: 2-D wavefront (sequence alignment)"
+PAPER_CLAIMS = [
+    "the granularity metrics are not stencil-specific: a compute-bound "
+    "pipeline workload shows the same U-shape and responds to the same "
+    "selection/tuning machinery",
+]
+
+PLATFORM = "haswell"
+CORES = 16
+CELL_NS = 3
+TUNED_SLACK = 1.35
+
+
+def _problem_side(scale: Scale) -> int:
+    # Match the stencil's default task-count regime: n^2 cells such that the
+    # finest tile still yields thousands of tasks but sweeps stay fast.
+    return max(256, int(scale.total_points**0.5))
+
+
+def run(scale: Scale) -> FigureResult:
+    n = _problem_side(scale)
+    run_fn = wavefront_run_fn(n=n, cell_ns=CELL_NS)
+    tiles = []
+    t = 4
+    while t < n:
+        tiles.append(t)
+        t *= 2
+    tiles.append(n)
+
+    report = characterize(
+        run_fn,
+        tiles,
+        platform=PLATFORM,
+        num_cores=CORES,
+        repetitions=max(2, scale.repetitions),
+        seed=23,
+        measure_single_core_reference=False,
+    )
+    fig = FigureResult(
+        figure_id=FIGURE_ID,
+        title=TITLE,
+        xlabel="tile side (cells)",
+        ylabel="execution time (s) / idle-rate",
+    )
+    panel = f"{PLATFORM} {CORES} cores, {n}x{n} cells"
+    fig.add_series(panel, Series("execution time (s)", report.series("execution_time_s")))
+    fig.add_series(panel, Series("idle-rate", report.series("idle_rate")))
+
+    oracle = select_by_min_time(report)
+    idle_rule = select_by_idle_rate(report, threshold=0.60)
+    fig.notes.append(oracle.summary())
+    fig.notes.append(idle_rule.summary())
+
+    tuner = AdaptiveGrainTuner(
+        epoch_fn=run_fn,
+        runtime_config_factory=lambda epoch: RuntimeConfig(
+            platform=PLATFORM, num_cores=CORES, seed=40 + epoch
+        ),
+        config=TunerConfig(
+            min_grain=2,
+            max_grain=n,
+            initial_grain=2,
+            # Pipeline workloads idle during fill/drain even at good tiles,
+            # so the "coarse" utilization threshold sits lower here.
+            utilization_lo=0.35,
+            max_epochs=scale.tuner_max_epochs,
+        ),
+    )
+    outcome = tuner.run()
+    fig.notes.append(
+        f"tuner: converged={outcome.converged} in {outcome.epochs} epochs; "
+        f"final tile={outcome.final_grain} time={outcome.final_time_s:.5f}s "
+        f"({outcome.final_time_s / oracle.best_execution_time_s:.3f}x oracle)"
+    )
+    fig.tuner_outcome = outcome  # type: ignore[attr-defined]
+    fig.oracle = oracle  # type: ignore[attr-defined]
+    return fig
+
+
+def shape_checks(fig: FigureResult) -> list[str]:
+    problems: list[str] = []
+    (panel,) = fig.panels
+    by_label = {s.label: s.points for s in fig.panels[panel]}
+    problems += check_u_shape(
+        by_label["execution time (s)"], f"{FIGURE_ID} execution time"
+    )
+    idle = by_label["idle-rate"]
+    if idle[0][1] < 0.5:
+        problems.append(f"{FIGURE_ID}: fine-end idle-rate {idle[0][1]:.2f} < 0.5")
+    if idle[-1][1] < 0.5:
+        problems.append(
+            f"{FIGURE_ID}: coarse-end idle-rate {idle[-1][1]:.2f} < 0.5 "
+            "(pipeline drain should starve workers)"
+        )
+    outcome = getattr(fig, "tuner_outcome", None)
+    oracle = getattr(fig, "oracle", None)
+    if outcome is None or oracle is None:
+        problems.append(f"{FIGURE_ID}: tuner outcome missing")
+    else:
+        ratio = outcome.final_time_s / oracle.best_execution_time_s
+        if ratio > TUNED_SLACK:
+            problems.append(
+                f"{FIGURE_ID}: tuner landed {ratio:.2f}x off the oracle "
+                f"(allowed {TUNED_SLACK}x)"
+            )
+    return problems

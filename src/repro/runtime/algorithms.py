@@ -1,0 +1,263 @@
+"""Parallel algorithms with chunking policies — HPX's own grain-size knob.
+
+The paper tunes grain size by hand through the stencil's partition
+parameter.  HPX's parallel algorithms expose the same knob as *executor
+parameters*: ``static_chunk_size`` fixes the iterations-per-task,
+``auto_chunk_size`` measures a few iterations at runtime and picks a chunk
+whose duration hits a target — i.e. exactly the paper's "determine
+granularity and adjust it at runtime", shipped as a library policy.
+
+This module provides both over the :class:`repro.runtime.runtime.Runtime`
+API:
+
+- :func:`parallel_for_each` — apply ``fn`` to every item, chunked;
+- :func:`parallel_reduce` — chunked partial folds plus a pairwise
+  combination tree (associative ``op`` required);
+- chunking policies :class:`StaticChunkSize`, :class:`FixedChunkCount`,
+  and :class:`AutoChunkSize`.
+
+``AutoChunkSize`` works inside the virtual timeline: it launches a probe
+task over a small prefix, reads the probe's *measured* execution time from
+the task accounting (the same ``exec_ns`` the counters aggregate), computes
+items-per-chunk so a chunk lasts ``target_chunk_ns``, and only then spawns
+the remaining chunks.  The same code path works on the thread executor,
+where ``exec_ns`` is wall time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.runtime.future import Future, when_all
+from repro.runtime.task import Task
+from repro.runtime.work import FixedWork
+
+
+@dataclass(frozen=True)
+class StaticChunkSize:
+    """Fixed items per task (HPX's ``static_chunk_size``)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("chunk size must be >= 1")
+
+
+@dataclass(frozen=True)
+class FixedChunkCount:
+    """Split the range into exactly ``count`` tasks (ceil division)."""
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("chunk count must be >= 1")
+
+
+@dataclass(frozen=True)
+class AutoChunkSize:
+    """Measure, then choose: HPX's ``auto_chunk_size``.
+
+    A probe task executes ``probe_items`` items; the per-item time it
+    *measures* sizes the remaining chunks to last ``target_chunk_ns`` each.
+    ``target_chunk_ns`` defaults to 200 us — comfortably inside the paper's
+    usable medium-grain region on every modelled platform.
+    """
+
+    target_chunk_ns: int = 200_000
+    probe_items: int = 8
+
+    def __post_init__(self) -> None:
+        if self.target_chunk_ns < 1:
+            raise ValueError("target_chunk_ns must be >= 1")
+        if self.probe_items < 1:
+            raise ValueError("probe_items must be >= 1")
+
+
+ChunkPolicy = StaticChunkSize | FixedChunkCount | AutoChunkSize
+
+
+def _chunk_bounds(n_items: int, chunk: int) -> list[tuple[int, int]]:
+    return [(lo, min(lo + chunk, n_items)) for lo in range(0, n_items, chunk)]
+
+
+def _spawn_chunk(
+    runtime,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    lo: int,
+    hi: int,
+    item_ns: int,
+    collect: Callable[[int, list], None] | None,
+) -> tuple[Future, Task]:
+    """One chunk task; returns (future, task) so callers can read exec_ns."""
+    result = Future(f"chunk[{lo}:{hi}]")
+
+    def body() -> None:
+        try:
+            values = [fn(items[i]) for i in range(lo, hi)]
+        except BaseException as exc:  # noqa: BLE001 - error channel
+            result.set_exception(exc)
+            return
+        if collect is not None:
+            collect(lo, values)
+        result.set_value(hi - lo)
+
+    task = Task(
+        body,
+        work=FixedWork(max(1, (hi - lo) * item_ns)),
+        name=result.name,
+    )
+    runtime.spawn(task)
+    return result, task
+
+
+def parallel_for_each(
+    runtime,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    item_ns: int = 1_000,
+    chunk: ChunkPolicy | None = None,
+) -> Future:
+    """Apply ``fn`` to every item; returns a future of the item count.
+
+    ``item_ns`` is the modelled per-item cost (ignored by the thread
+    executor, which measures real time).  ``chunk`` defaults to
+    :class:`AutoChunkSize`.
+    """
+    if chunk is None:
+        chunk = AutoChunkSize()
+    n = len(items)
+    result = Future("parallel_for_each")
+    if n == 0:
+        result.set_value(0)
+        return result
+
+    def finish(futures: list[Future]) -> None:
+        combined = when_all(futures, name="for_each:barrier")
+
+        def done(_f: Future) -> None:
+            failed = next((f for f in futures if f.has_exception), None)
+            if failed is not None:
+                result.set_exception(failed.exception)  # type: ignore[arg-type]
+            else:
+                result.set_value(sum(f.value for f in futures))
+
+        combined.on_ready(done)
+
+    if isinstance(chunk, StaticChunkSize):
+        size = chunk.size
+    elif isinstance(chunk, FixedChunkCount):
+        size = max(1, math.ceil(n / chunk.count))
+    else:
+        # AutoChunkSize: probe first, then spawn the rest.
+        probe_hi = min(chunk.probe_items, n)
+        probe_future, probe_task = _spawn_chunk(
+            runtime, fn, items, 0, probe_hi, item_ns, None
+        )
+
+        def after_probe(f: Future) -> None:
+            if f.has_exception:
+                result.set_exception(f.exception)  # type: ignore[arg-type]
+                return
+            per_item = max(1.0, probe_task.exec_ns / probe_hi)
+            size = max(1, int(chunk.target_chunk_ns / per_item))
+            futures = [probe_future]
+            for lo, hi in _chunk_bounds(n - probe_hi, size):
+                fut, _ = _spawn_chunk(
+                    runtime, fn, items, probe_hi + lo, probe_hi + hi,
+                    item_ns, None,
+                )
+                futures.append(fut)
+            finish(futures)
+
+        probe_future.on_ready(after_probe)
+        return result
+
+    futures = [
+        _spawn_chunk(runtime, fn, items, lo, hi, item_ns, None)[0]
+        for lo, hi in _chunk_bounds(n, size)
+    ]
+    finish(futures)
+    return result
+
+
+def parallel_reduce(
+    runtime,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+    initial: Any,
+    *,
+    item_ns: int = 1_000,
+    combine_ns: int = 500,
+    chunk: ChunkPolicy | None = None,
+) -> Future:
+    """Map ``fn`` over items and fold with associative ``op``.
+
+    Chunk tasks fold their slice locally; partial results combine in a
+    pairwise dataflow tree (depth ⌈log2(chunks)⌉), as a work-efficient
+    parallel reduction should.
+    """
+    if chunk is None:
+        chunk = StaticChunkSize(max(1, math.ceil(len(items) / 64)))
+    if isinstance(chunk, AutoChunkSize):
+        raise NotImplementedError(
+            "auto-chunked reduce is not supported; probe with "
+            "parallel_for_each and pass a StaticChunkSize"
+        )
+    n = len(items)
+    if n == 0:
+        f = Future("parallel_reduce")
+        f.set_value(initial)
+        return f
+    if isinstance(chunk, FixedChunkCount):
+        size = max(1, math.ceil(n / chunk.count))
+    else:
+        size = chunk.size
+
+    def fold_chunk(lo: int, hi: int) -> Future:
+        out = Future(f"reduce[{lo}:{hi}]")
+
+        def body() -> None:
+            try:
+                acc = fn(items[lo])
+                for i in range(lo + 1, hi):
+                    acc = op(acc, fn(items[i]))
+            except BaseException as exc:  # noqa: BLE001 - error channel
+                out.set_exception(exc)
+            else:
+                out.set_value(acc)
+
+        runtime.spawn(
+            Task(body, work=FixedWork(max(1, (hi - lo) * item_ns)), name=out.name)
+        )
+        return out
+
+    level = [fold_chunk(lo, hi) for lo, hi in _chunk_bounds(n, size)]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(
+                runtime.dataflow(
+                    op,
+                    [level[i], level[i + 1]],
+                    work=FixedWork(combine_ns),
+                    name="reduce:combine",
+                )
+            )
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+
+    final = Future("parallel_reduce")
+    level[0].on_ready(
+        lambda f: final.set_exception(f.exception)  # type: ignore[arg-type]
+        if f.has_exception
+        else final.set_value(op(initial, f.value))
+    )
+    return final

@@ -1,0 +1,251 @@
+"""Futures and dataflow composition.
+
+HPX-Stencil expresses its dependency graph (paper Fig. 2) with
+``hpx::future`` objects combined "sequentially and in parallel" so that "the
+Future objects represent the terminal nodes and their combination represents
+the edges and the intermediate nodes of the dependency graph" (Sec. I-C).
+
+This module gives the Python runtime the same compositional facilities:
+
+- :class:`Future` — single-assignment shared state with ready-callbacks;
+- :func:`when_all` — a future that becomes ready when all inputs are ready
+  (no task is spawned; it is pure bookkeeping, as in HPX);
+- :func:`dataflow` — spawns a task when every dependency is ready, passing
+  the dependency *values* to the task body (HPX's unwrapped ``dataflow``);
+  this is the construct the stencil's per-partition updates are built from.
+
+Continuations run in the scheduling context of whichever task made the final
+dependency ready, so spawned work lands in that worker's staged queue — the
+same locality behaviour HPX's scheduler exhibits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.runtime.task import Priority, Task
+from repro.runtime.work import NoWork, WorkDescriptor
+
+
+class FutureError(RuntimeError):
+    """Raised for protocol violations (double set, reading unready value)."""
+
+
+class _FutureState(enum.Enum):
+    PENDING = "pending"
+    READY = "ready"
+    EXCEPTION = "exception"
+
+
+class Spawner(Protocol):
+    """The executor surface futures need: create a task near the caller."""
+
+    def spawn(self, task: Task) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Future:
+    """Single-assignment value with ready-callbacks.
+
+    Unlike ``concurrent.futures.Future`` this is *not* thread-safe by itself;
+    the simulated executor is single-threaded by construction and the thread
+    executor wraps state changes in its own lock.
+    """
+
+    __slots__ = ("_state", "_value", "_exception", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self._state = _FutureState.PENDING
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[[Future], None]] | None = None
+        self.name = name
+
+    # -- producer side -------------------------------------------------------
+
+    def set_value(self, value: Any) -> None:
+        """Fulfil the future; runs (and clears) all registered callbacks."""
+        if self._state is not _FutureState.PENDING:
+            raise FutureError(f"future {self.name!r} already satisfied")
+        self._value = value
+        self._state = _FutureState.READY
+        self._fire()
+
+    def set_exception(self, exception: BaseException) -> None:
+        """Fail the future; callbacks still fire (they observe the error)."""
+        if self._state is not _FutureState.PENDING:
+            raise FutureError(f"future {self.name!r} already satisfied")
+        self._exception = exception
+        self._state = _FutureState.EXCEPTION
+        self._fire()
+
+    def _fire(self) -> None:
+        callbacks = self._callbacks
+        self._callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    # -- consumer side --------------------------------------------------------
+
+    @property
+    def is_ready(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._state is not _FutureState.PENDING
+
+    @property
+    def has_exception(self) -> bool:
+        return self._state is _FutureState.EXCEPTION
+
+    @property
+    def value(self) -> Any:
+        """The value; re-raises a stored exception; errors if unready."""
+        if self._state is _FutureState.READY:
+            return self._value
+        if self._state is _FutureState.EXCEPTION:
+            assert self._exception is not None
+            raise self._exception
+        raise FutureError(f"future {self.name!r} is not ready")
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def on_ready(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` when ready (immediately if already ready)."""
+        if self._state is not _FutureState.PENDING:
+            callback(self)
+            return
+        if self._callbacks is None:
+            self._callbacks = []
+        self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Future {self.name!r} {self._state.value}>"
+
+
+def make_ready_future(value: Any, name: str = "") -> Future:
+    """A future that is already fulfilled — HPX's ``make_ready_future``."""
+    f = Future(name)
+    f.set_value(value)
+    return f
+
+
+def when_all(futures: Sequence[Future], name: str = "") -> Future:
+    """A future of the input futures, ready when every input is ready.
+
+    Matches ``hpx::when_all``: the result's value is the list of (now ready)
+    input futures, and readiness does not consume a task — it is bookkeeping
+    attached to the inputs' completion.
+    """
+    result = Future(name or "when_all")
+    remaining = len(futures)
+    if remaining == 0:
+        result.set_value([])
+        return result
+    # A one-slot list lets the closure mutate the count without a class.
+    state = [remaining]
+
+    def one_done(_f: Future) -> None:
+        state[0] -= 1
+        if state[0] == 0:
+            result.set_value(list(futures))
+
+    for f in futures:
+        f.on_ready(one_done)
+    return result
+
+
+def when_any(futures: Sequence[Future], name: str = "") -> Future:
+    """A future ready as soon as *any* input is ready — ``hpx::when_any``.
+
+    The result's value is the (index, future) pair of the first input to
+    become ready (ties broken by input order, deterministically).  Requires
+    at least one input; an empty argument can never become ready.
+    """
+    if not futures:
+        raise ValueError("when_any() requires at least one future")
+    result = Future(name or "when_any")
+
+    def one_done(index: int, f: Future) -> None:
+        if not result.is_ready:
+            result.set_value((index, f))
+
+    for i, f in enumerate(futures):
+        f.on_ready(lambda f, i=i: one_done(i, f))
+        if result.is_ready:
+            break
+    return result
+
+
+def then(
+    spawner: Spawner,
+    future: Future,
+    fn: Callable[[Future], Any],
+    *,
+    work: WorkDescriptor | None = None,
+    name: str = "",
+    priority: Priority = Priority.NORMAL,
+) -> Future:
+    """Attach a continuation task — ``hpx::future::then``.
+
+    Unlike :func:`dataflow`, the continuation receives the *future* itself
+    (ready or failed), so error handling happens inside ``fn``; the task is
+    spawned even when ``future`` carries an exception.
+    """
+    result = Future(name or getattr(fn, "__name__", "then"))
+
+    def body() -> None:
+        try:
+            value = fn(future)
+        except BaseException as exc:  # noqa: BLE001 - error channel
+            result.set_exception(exc)
+        else:
+            result.set_value(value)
+
+    def launch(_ready: Future) -> None:
+        task = Task(body, work=work or NoWork(), name=result.name, priority=priority)
+        spawner.spawn(task)
+
+    future.on_ready(launch)
+    return result
+
+
+def dataflow(
+    spawner: Spawner,
+    fn: Callable[..., Any],
+    dependencies: Sequence[Future],
+    *,
+    work: WorkDescriptor | None = None,
+    name: str = "",
+    priority: Priority = Priority.NORMAL,
+) -> Future:
+    """Spawn ``fn(*values)`` as a task once every dependency is ready.
+
+    Returns the future of ``fn``'s result.  If any dependency carries an
+    exception, the task is never spawned and the exception propagates to the
+    result (first failing dependency wins), which is how an HPX dataflow
+    surfaces errors at ``.get()``.
+    """
+    result = Future(name or getattr(fn, "__name__", "dataflow"))
+    deps = list(dependencies)
+
+    def body() -> None:
+        try:
+            value = fn(*(d.value for d in deps))
+        except BaseException as exc:  # noqa: BLE001 - error channel
+            result.set_exception(exc)
+        else:
+            result.set_value(value)
+
+    def launch(_ready: Future) -> None:
+        failed = next((d for d in deps if d.has_exception), None)
+        if failed is not None:
+            result.set_exception(failed.exception)  # type: ignore[arg-type]
+            return
+        task = Task(body, work=work or NoWork(), name=result.name, priority=priority)
+        spawner.spawn(task)
+
+    when_all(deps, name=f"{result.name}:deps").on_ready(launch)
+    return result

@@ -1,0 +1,230 @@
+"""Runtime facade: platform + scheduler + counters + executor in one object.
+
+One :class:`Runtime` corresponds to one launch of the HPX runtime for one
+application run: construct it with a :class:`RuntimeConfig`, submit work with
+:meth:`Runtime.async_` / :meth:`Runtime.dataflow`, then :meth:`Runtime.run`
+drives the simulation to completion and returns a :class:`RunResult`
+packaging the execution time and a final counter snapshot — the exact raw
+material the paper's metrics (Sec. II-A) are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.counters.interval import IntervalSampler
+from repro.counters.registry import CounterRegistry, CounterSnapshot
+from repro.runtime.future import Future, dataflow as _dataflow
+from repro.runtime.sim_executor import SimExecutor
+from repro.runtime.task import Priority, Task
+from repro.runtime.work import WorkDescriptor
+from repro.schedulers import make_scheduler
+from repro.schedulers.base import SchedulingPolicy
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.platforms import PlatformSpec, get_platform
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Configuration of one simulated runtime launch.
+
+    ``platform`` accepts a name (``"haswell"``, ``"xeon-phi"``, aliases
+    ``hw``/``knc``...) or a :class:`PlatformSpec`.  ``scheduler`` accepts a
+    registry name or a policy instance.  ``seed`` feeds the cost-model jitter
+    so repeated runs produce the COV statistics of the paper's methodology.
+    """
+
+    platform: str | PlatformSpec = "haswell"
+    num_cores: int = 1
+    scheduler: str | SchedulingPolicy = "priority-local"
+    seed: int = 0
+    timer_counters: bool = True
+    #: record an :class:`repro.sim.trace.ExecutionTrace` of the run
+    trace: bool = False
+
+    def resolve_platform(self) -> PlatformSpec:
+        if isinstance(self.platform, PlatformSpec):
+            return self.platform
+        return get_platform(self.platform)
+
+    def resolve_scheduler(self) -> SchedulingPolicy:
+        if isinstance(self.scheduler, SchedulingPolicy):
+            return self.scheduler
+        return make_scheduler(self.scheduler)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one completed run: time plus the final counter snapshot."""
+
+    execution_time_ns: int
+    counters: CounterSnapshot
+    platform_name: str
+    num_cores: int
+    tasks_executed: int
+
+    # -- the counter readings the paper's metrics start from -------------------
+
+    @property
+    def execution_time_s(self) -> float:
+        return self.execution_time_ns / 1e9
+
+    @property
+    def idle_rate(self) -> float:
+        """Eq. 1, as reported by ``/threads/idle-rate``."""
+        return self.counters.get("/threads/idle-rate")
+
+    @property
+    def task_duration_ns(self) -> float:
+        """Eq. 2 (t_d), as reported by ``/threads/time/average``."""
+        return self.counters.get("/threads/time/average")
+
+    @property
+    def task_overhead_ns(self) -> float:
+        """Per-task management time, ``/threads/time/average-overhead``."""
+        return self.counters.get("/threads/time/average-overhead")
+
+    @property
+    def cumulative_exec_ns(self) -> float:
+        return self.counters.get("/threads/time/cumulative")
+
+    @property
+    def cumulative_func_ns(self) -> float:
+        return self.counters.get("/threads/time/cumulative-func")
+
+    @property
+    def pending_accesses(self) -> float:
+        return self.counters.get("/threads/count/pending-accesses")
+
+    @property
+    def pending_misses(self) -> float:
+        return self.counters.get("/threads/count/pending-misses")
+
+    @property
+    def phases(self) -> float:
+        return self.counters.get("/threads/count/cumulative-phases")
+
+
+class Runtime:
+    """A single-launch task runtime over the simulated machine.
+
+    Implements the ``Spawner`` protocol, so it can be passed directly to
+    :func:`repro.runtime.future.dataflow`.
+    """
+
+    def __init__(self, config: RuntimeConfig | None = None, **kwargs: Any) -> None:
+        """Build the runtime.
+
+        ``kwargs`` are a convenience for ad-hoc construction:
+        ``Runtime(platform="haswell", num_cores=8)``.
+        """
+        if config is None:
+            config = RuntimeConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a RuntimeConfig or keyword arguments")
+        self.config = config
+        self.platform = config.resolve_platform()
+        self.machine = Machine(self.platform, config.num_cores)
+        self.registry = CounterRegistry()
+        self.cost_model = CostModel(
+            self.platform,
+            config.num_cores,
+            seed=config.seed,
+            timer_counters_enabled=config.timer_counters,
+        )
+        self.simulator = Simulator()
+        self.policy = config.resolve_scheduler()
+        self.executor = SimExecutor(
+            self.machine, self.policy, self.cost_model, self.registry,
+            self.simulator,
+        )
+        self.sampler = IntervalSampler(self.registry)
+        if config.trace:
+            self.executor.enable_tracing()
+        self._ran = False
+
+    @property
+    def trace(self):
+        """The run's :class:`repro.sim.trace.ExecutionTrace`, or None."""
+        return self.executor.trace
+
+    # -- work submission ----------------------------------------------------------
+
+    def spawn(self, task: Task, worker: int | None = None) -> None:
+        """Stage a raw :class:`Task` (Spawner protocol)."""
+        self.executor.spawn(task, worker)
+
+    def async_(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        work: WorkDescriptor | None = None,
+        name: str = "",
+        priority: Priority = Priority.NORMAL,
+        worker: int | None = None,
+    ) -> Future:
+        """``hpx::async``: launch ``fn(*args)`` as a task, get its future."""
+        result = Future(name or getattr(fn, "__name__", "async"))
+
+        def body() -> None:
+            try:
+                value = fn(*args)
+            except BaseException as exc:  # noqa: BLE001 - error channel
+                result.set_exception(exc)
+            else:
+                result.set_value(value)
+
+        task = Task(body, work=work, name=result.name, priority=priority)
+        self.spawn(task, worker)
+        return result
+
+    def dataflow(
+        self,
+        fn: Callable[..., Any],
+        dependencies: Sequence[Future],
+        *,
+        work: WorkDescriptor | None = None,
+        name: str = "",
+        priority: Priority = Priority.NORMAL,
+    ) -> Future:
+        """``hpx::dataflow``: run ``fn`` on dependency values when all ready."""
+        return _dataflow(
+            self, fn, dependencies, work=work, name=name, priority=priority
+        )
+
+    # -- driving -------------------------------------------------------------------
+
+    def run(self, *, sample_interval_ns: int | None = None) -> RunResult:
+        """Drive the simulation until every spawned task has terminated.
+
+        ``sample_interval_ns`` installs periodic counter sampling (the
+        paper's dynamic-measurement mode); samples are collected in
+        ``self.sampler.samples``.
+        """
+        if self._ran:
+            raise RuntimeError("Runtime instances are single-use; build a new one")
+        self._ran = True
+
+        if sample_interval_ns is not None:
+            if sample_interval_ns <= 0:
+                raise ValueError("sample_interval_ns must be positive")
+            self.sampler.start(0)
+
+            def tick() -> None:
+                self.sampler.sample(self.simulator.now)
+                if self.executor.outstanding_tasks > 0:
+                    self.simulator.schedule(sample_interval_ns, tick)
+
+            self.simulator.schedule(sample_interval_ns, tick)
+
+        finish_ns = self.executor.run()
+        return RunResult(
+            execution_time_ns=finish_ns,
+            counters=self.registry.snapshot(finish_ns),
+            platform_name=self.platform.name,
+            num_cores=self.config.num_cores,
+            tasks_executed=self.executor.total_spawned,
+        )

@@ -1,0 +1,53 @@
+"""Work descriptors: how big is a task's computation?
+
+The simulated executor cannot time a Python callable (wall-clock time would
+reintroduce exactly the GIL distortion this reproduction avoids), so every
+task carries a declarative description of its computation and the cost model
+(:mod:`repro.sim.costmodel`) converts it to virtual nanoseconds:
+
+- :class:`StencilWork` — "update N grid points of the 1-D heat stencil";
+  duration depends on N, cache residency, and bandwidth contention;
+- :class:`FixedWork` — a nominal duration in nanoseconds (micro-benchmarks,
+  graph workloads);
+- :class:`NoWork` — pure bookkeeping (e.g. a ``when_all`` continuation that
+  only combines futures); costs a single nominal nanosecond of compute.
+
+The thread executor ignores descriptors and measures real time instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class WorkDescriptor:
+    """Base marker type; see module docstring."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class StencilWork(WorkDescriptor):
+    """One heat-diffusion partition update of ``points`` grid points."""
+
+    points: int
+
+    def __post_init__(self) -> None:
+        if self.points <= 0:
+            raise ValueError(f"points must be positive, got {self.points}")
+
+
+@dataclass(frozen=True, slots=True)
+class FixedWork(WorkDescriptor):
+    """A computation of a nominal ``ns`` nanoseconds on the target platform."""
+
+    ns: int
+
+    def __post_init__(self) -> None:
+        if self.ns <= 0:
+            raise ValueError(f"ns must be positive, got {self.ns}")
+
+
+@dataclass(frozen=True, slots=True)
+class NoWork(WorkDescriptor):
+    """Bookkeeping-only task; contributes (almost) no compute time."""

@@ -1,0 +1,131 @@
+"""Scheduling-policy interface shared by the executors.
+
+A policy owns the task queues and answers one question — *given an idle
+worker, what should it run next?* — while the executor owns time, cost
+charging and task execution.  This split lets the simulated and the real
+thread executor share every policy unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.runtime.task import Priority, Task
+from repro.schedulers.queues import DualQueue, QueueStats
+from repro.sim.machine import Machine
+
+
+class WorkSource(enum.Enum):
+    """Where ``find_work`` found the task; drives the executor's cost charges
+    and the stolen-task counters.  The enum order matches the search order of
+    the paper's Fig. 1."""
+
+    LOCAL_PENDING = 1
+    LOCAL_STAGED = 2
+    NUMA_STAGED = 3
+    NUMA_PENDING = 4
+    REMOTE_STAGED = 5
+    REMOTE_PENDING = 6
+    HIGH_PRIORITY = 0
+    LOW_PRIORITY = 7
+
+    @property
+    def was_staged(self) -> bool:
+        return self in (WorkSource.LOCAL_STAGED, WorkSource.NUMA_STAGED, WorkSource.REMOTE_STAGED)
+
+    @property
+    def was_stolen(self) -> bool:
+        return self in (
+            WorkSource.NUMA_STAGED,
+            WorkSource.NUMA_PENDING,
+            WorkSource.REMOTE_STAGED,
+            WorkSource.REMOTE_PENDING,
+        )
+
+    @property
+    def same_domain(self) -> bool:
+        """True for steals that stayed inside the worker's NUMA domain."""
+        return self in (WorkSource.NUMA_STAGED, WorkSource.NUMA_PENDING)
+
+
+@dataclass(frozen=True)
+class FoundWork:
+    """A task plus the provenance the executor needs for cost accounting."""
+
+    task: Task
+    source: WorkSource
+
+
+class SchedulingPolicy:
+    """Base class for scheduling policies.
+
+    Lifecycle: construct, then :meth:`attach` to a machine (builds queues),
+    then any number of enqueue/find_work calls from the executor.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.machine: Machine | None = None
+        self.num_workers: int = 0
+
+    # -- setup ---------------------------------------------------------------
+
+    def attach(self, machine: Machine) -> None:
+        """Bind to ``machine`` and build one queue set per worker."""
+        self.machine = machine
+        self.num_workers = machine.num_cores
+        self._build_queues()
+
+    def _build_queues(self) -> None:
+        raise NotImplementedError
+
+    # -- producer interface ----------------------------------------------------
+
+    def enqueue_staged(self, task: Task, worker: int) -> None:
+        """Place a newly created thread description near ``worker``."""
+        raise NotImplementedError
+
+    def enqueue_pending(self, task: Task, worker: int) -> None:
+        """Requeue a resumed (previously suspended) thread near ``worker``."""
+        raise NotImplementedError
+
+    # -- consumer interface -----------------------------------------------------
+
+    def find_work(self, worker: int) -> FoundWork | None:
+        """The policy's work-finding algorithm for an idle ``worker``."""
+        raise NotImplementedError
+
+    def shared_structure_penalty_ns(self, active_workers: int) -> int:
+        """Extra per-dispatch cost of contention on policy-owned shared
+        structures.
+
+        Per-worker-queue policies return 0 (their contention is already in
+        the cost model's ``contention_coef``); a single shared queue pays a
+        growing synchronization cost per pop, which is what makes the
+        global-queue ablation honest.
+        """
+        return 0
+
+    # -- introspection -----------------------------------------------------------
+
+    def queues(self) -> Iterator[DualQueue]:
+        """All dual queues owned by the policy (for stats aggregation)."""
+        raise NotImplementedError
+
+    def queued_tasks(self) -> int:
+        """Tasks currently sitting in any queue (not active/suspended)."""
+        return sum(q.pending_len + q.staged_len for q in self.queues())
+
+    def aggregate_stats(self) -> QueueStats:
+        """Summed access/miss counts over every queue."""
+        total = QueueStats()
+        for q in self.queues():
+            total.merge(q.stats)
+        return total
+
+    @staticmethod
+    def classify_priority(task: Task) -> Priority:
+        return task.priority

@@ -1,0 +1,89 @@
+"""Dual staged/pending task queues with access accounting.
+
+"All HPX-thread scheduling policies use a dual-queue scheme to manage
+threads" (paper Sec. I-B): thread *descriptions* wait in a staged queue
+(cheap to create and to move between memory domains), and context-equipped
+threads ready to run wait in a pending queue.
+
+The paper's Fig. 9/10 metric — pending-queue accesses and misses — is counted
+here, at the queue, so every scheduling policy gets the accounting for free
+and the counts register genuine scheduler activity rather than a model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.runtime.task import Task
+
+
+@dataclass
+class QueueStats:
+    """Access/miss counts for one dual queue.
+
+    An *access* is one look by the thread scheduler into the queue; a *miss*
+    is an access that found no work there (paper Sec. II-A).
+    """
+
+    pending_accesses: int = 0
+    pending_misses: int = 0
+    staged_accesses: int = 0
+    staged_misses: int = 0
+
+    def merge(self, other: "QueueStats") -> None:
+        self.pending_accesses += other.pending_accesses
+        self.pending_misses += other.pending_misses
+        self.staged_accesses += other.staged_accesses
+        self.staged_misses += other.staged_misses
+
+
+@dataclass
+class DualQueue:
+    """One staged + pending FIFO pair, as attached to each worker thread."""
+
+    stats: QueueStats = field(default_factory=QueueStats)
+    _staged: deque[Task] = field(default_factory=deque)
+    _pending: deque[Task] = field(default_factory=deque)
+
+    # -- producers ------------------------------------------------------------
+
+    def push_staged(self, task: Task) -> None:
+        self._staged.append(task)
+
+    def push_pending(self, task: Task) -> None:
+        self._pending.append(task)
+
+    # -- consumers (every pop counts an access) --------------------------------
+
+    def pop_pending(self) -> Task | None:
+        """FIFO-pop from the pending queue, counting the access."""
+        stats = self.stats
+        stats.pending_accesses += 1
+        if self._pending:
+            return self._pending.popleft()
+        stats.pending_misses += 1
+        return None
+
+    def pop_staged(self) -> Task | None:
+        """FIFO-pop from the staged queue, counting the access."""
+        stats = self.stats
+        stats.staged_accesses += 1
+        if self._staged:
+            return self._staged.popleft()
+        stats.staged_misses += 1
+        return None
+
+    # -- introspection (no access counted; used for termination checks) --------
+
+    @property
+    def pending_len(self) -> int:
+        return len(self._pending)
+
+    @property
+    def staged_len(self) -> int:
+        return len(self._staged)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._pending and not self._staged

@@ -1,0 +1,57 @@
+"""Discrete-event simulation substrate.
+
+The paper measures a C++ runtime on real hardware; a faithful Python
+re-measurement is impossible at fine grain because the GIL serializes workers
+and distorts exactly the overheads under study.  Instead, the scheduler runs
+*for real* (same queues, same steal order, same counters) while the passage
+of time is simulated by this package:
+
+- :mod:`repro.sim.engine` — deterministic event loop with a virtual
+  nanosecond clock;
+- :mod:`repro.sim.machine` — cores grouped into NUMA domains;
+- :mod:`repro.sim.platforms` — the four Table I platforms plus calibration
+  constants;
+- :mod:`repro.sim.costmodel` — the cost mechanisms the paper names: per-task
+  management cost, context switches, steal penalties, cache-capacity effects,
+  and memory-bandwidth contention (the source of "wait time").
+"""
+
+from repro.sim.calibrate import (
+    ContentionAnchor,
+    KernelAnchor,
+    ScalingAnchor,
+    calibrate,
+)
+from repro.sim.engine import Event, Simulator
+from repro.sim.machine import Core, Machine, NumaDomain
+from repro.sim.costmodel import CostModel, TaskCosts
+from repro.sim.platforms import (
+    HASWELL,
+    IVY_BRIDGE,
+    PLATFORMS,
+    SANDY_BRIDGE,
+    XEON_PHI,
+    PlatformSpec,
+    get_platform,
+)
+
+__all__ = [
+    "ContentionAnchor",
+    "KernelAnchor",
+    "ScalingAnchor",
+    "calibrate",
+    "Event",
+    "Simulator",
+    "Core",
+    "Machine",
+    "NumaDomain",
+    "CostModel",
+    "TaskCosts",
+    "PlatformSpec",
+    "PLATFORMS",
+    "SANDY_BRIDGE",
+    "IVY_BRIDGE",
+    "HASWELL",
+    "XEON_PHI",
+    "get_platform",
+]

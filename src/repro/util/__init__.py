@@ -1,0 +1,33 @@
+"""Shared utilities: statistics, table rendering, ASCII plotting, time units.
+
+These helpers are deliberately dependency-light (numpy only) so that every
+other subpackage can use them without import cycles.
+"""
+
+from repro.util.stats import SampleStats, cov, describe, mean, stddev
+from repro.util.tables import format_table
+from repro.util.timeunits import (
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    SECOND,
+    format_ns,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+
+__all__ = [
+    "SampleStats",
+    "cov",
+    "describe",
+    "mean",
+    "stddev",
+    "format_table",
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "format_ns",
+    "ns_to_seconds",
+    "seconds_to_ns",
+]

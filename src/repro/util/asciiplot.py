@@ -1,0 +1,75 @@
+"""Minimal ASCII line plots for experiment output.
+
+The paper's figures are log-x line charts (execution time, idle-rate, queue
+accesses vs. partition size).  :func:`plot_series` renders the same series as
+a character grid so a terminal-only reproduction can still show the *shape*
+of each curve — the quantity the reproduction is judged on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log10(x: float) -> float:
+    return math.log10(x) if x > 0 else 0.0
+
+
+def plot_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    logx: bool = True,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axis ASCII grid.
+
+    Each series gets a distinct marker; the legend maps markers to names.
+    ``logx=True`` mirrors the paper's log-scale partition-size axis.
+    """
+    points = [(x, y) for pts in series.values() for (x, y) in pts]
+    if not points:
+        return "(no data)"
+    xs = [(_log10(x) if logx else x) for x, _ in points]
+    ys = [y for _, y in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            gx = _log10(x) if logx else x
+            col = int((gx - xmin) / (xmax - xmin) * (width - 1))
+            row = int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {ylabel}  [{ymin:.4g} .. {ymax:.4g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    if logx:
+        lines.append(
+            f"x: {xlabel} (log10) [{10 ** xmin:.4g} .. {10 ** xmax:.4g}]"
+        )
+    else:
+        lines.append(f"x: {xlabel} [{xmin:.4g} .. {xmax:.4g}]")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

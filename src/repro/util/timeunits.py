@@ -1,0 +1,42 @@
+"""Time-unit helpers.
+
+The simulator keeps time as integer nanoseconds so that event ordering is
+exact and runs are bit-reproducible; floats appear only at the reporting
+boundary.  The paper reports execution times in seconds and task durations in
+microseconds/milliseconds, so formatting helpers cover that whole range.
+"""
+
+from __future__ import annotations
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+
+
+def seconds_to_ns(seconds: float) -> int:
+    """Convert (possibly fractional) seconds to integer nanoseconds."""
+    return int(round(seconds * SECOND))
+
+
+def ns_to_seconds(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / SECOND
+
+
+def format_ns(ns: float) -> str:
+    """Render a nanosecond quantity with a human-appropriate unit.
+
+    >>> format_ns(2_500)
+    '2.500us'
+    >>> format_ns(3_200_000_000)
+    '3.200s'
+    """
+    absns = abs(ns)
+    if absns >= SECOND:
+        return f"{ns / SECOND:.3f}s"
+    if absns >= MILLISECOND:
+        return f"{ns / MILLISECOND:.3f}ms"
+    if absns >= MICROSECOND:
+        return f"{ns / MICROSECOND:.3f}us"
+    return f"{ns:.0f}ns"

@@ -1,0 +1,17 @@
+"""Test-suite configuration.
+
+Registers the ``slow`` marker used on the long-running convergence and
+experiment-harness tests, so a quick development loop can run::
+
+    pytest tests/ -m "not slow"
+
+and CI / the full verification run includes everything (the default).
+"""
+
+import pytest
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long-running convergence/experiment tests"
+    )

@@ -1,0 +1,206 @@
+"""Unit tests for the parallel algorithms and chunking policies."""
+
+import pytest
+
+from repro.runtime.algorithms import (
+    AutoChunkSize,
+    FixedChunkCount,
+    StaticChunkSize,
+    parallel_for_each,
+    parallel_reduce,
+)
+from repro.runtime.runtime import Runtime, RuntimeConfig
+
+
+def rt(cores=4, seed=1):
+    return Runtime(RuntimeConfig(platform="haswell", num_cores=cores, seed=seed))
+
+
+class TestPolicies:
+    def test_static_validation(self):
+        with pytest.raises(ValueError):
+            StaticChunkSize(0)
+
+    def test_fixed_count_validation(self):
+        with pytest.raises(ValueError):
+            FixedChunkCount(0)
+
+    def test_auto_validation(self):
+        with pytest.raises(ValueError):
+            AutoChunkSize(target_chunk_ns=0)
+        with pytest.raises(ValueError):
+            AutoChunkSize(probe_items=0)
+
+
+class TestForEach:
+    def test_applies_to_all_items(self):
+        runtime = rt()
+        seen = []
+        items = list(range(100))
+        f = parallel_for_each(
+            runtime, seen.append, items, chunk=StaticChunkSize(7)
+        )
+        runtime.run()
+        assert f.value == 100
+        assert sorted(seen) == items
+
+    def test_empty_input(self):
+        runtime = rt()
+        f = parallel_for_each(runtime, lambda x: x, [])
+        assert f.value == 0
+
+    def test_fixed_chunk_count_task_count(self):
+        runtime = rt()
+        parallel_for_each(
+            runtime, lambda x: x, list(range(100)),
+            chunk=FixedChunkCount(8),
+        )
+        runtime.run()
+        assert runtime.executor.total_spawned == 8
+
+    def test_static_chunk_task_count(self):
+        runtime = rt()
+        parallel_for_each(
+            runtime, lambda x: x, list(range(100)), chunk=StaticChunkSize(30)
+        )
+        runtime.run()
+        assert runtime.executor.total_spawned == 4  # 30+30+30+10
+
+    def test_exception_propagates(self):
+        runtime = rt()
+
+        def bad(x):
+            if x == 13:
+                raise ValueError("unlucky")
+            return x
+
+        f = parallel_for_each(
+            runtime, bad, list(range(20)), chunk=StaticChunkSize(5)
+        )
+        runtime.run()
+        assert f.has_exception
+
+    def test_auto_chunk_probes_then_fans_out(self):
+        runtime = rt(cores=8)
+        items = list(range(2_000))
+        f = parallel_for_each(
+            runtime,
+            lambda x: None,
+            items,
+            item_ns=2_000,
+            chunk=AutoChunkSize(target_chunk_ns=100_000, probe_items=10),
+        )
+        runtime.run()
+        assert f.value == 2_000
+        # Per item ~2 us -> ~50 items per 100 us chunk -> ~40 chunks + probe.
+        spawned = runtime.executor.total_spawned
+        assert 20 <= spawned <= 80
+
+    def test_auto_chunk_beats_pathological_static(self):
+        def total_time(chunk):
+            runtime = rt(cores=8, seed=3)
+            parallel_for_each(
+                runtime, lambda x: None, list(range(4_000)),
+                item_ns=1_000, chunk=chunk,
+            )
+            return runtime.run().execution_time_ns
+
+        auto = total_time(AutoChunkSize(target_chunk_ns=200_000))
+        too_fine = total_time(StaticChunkSize(1))
+        assert auto < too_fine / 2
+
+    def test_auto_chunk_close_to_best_static(self):
+        """The point of auto_chunk_size: near-optimal without tuning."""
+        def total_time(chunk, seed=4):
+            runtime = rt(cores=8, seed=seed)
+            parallel_for_each(
+                runtime, lambda x: None, list(range(4_000)),
+                item_ns=1_000, chunk=chunk,
+            )
+            return runtime.run().execution_time_ns
+
+        best_static = min(
+            total_time(StaticChunkSize(s)) for s in (32, 64, 128, 256, 512)
+        )
+        auto = total_time(AutoChunkSize(target_chunk_ns=200_000))
+        assert auto <= best_static * 1.4
+
+
+class TestReduce:
+    def test_sum(self):
+        runtime = rt()
+        f = parallel_reduce(
+            runtime, lambda x: x, list(range(101)), lambda a, b: a + b, 0,
+            chunk=StaticChunkSize(9),
+        )
+        runtime.run()
+        assert f.value == 5050
+
+    def test_initial_value_included(self):
+        runtime = rt()
+        f = parallel_reduce(
+            runtime, lambda x: x, [1, 2, 3], lambda a, b: a + b, 100
+        )
+        runtime.run()
+        assert f.value == 106
+
+    def test_map_applied(self):
+        runtime = rt()
+        f = parallel_reduce(
+            runtime, lambda x: x * x, list(range(10)), lambda a, b: a + b, 0,
+            chunk=StaticChunkSize(3),
+        )
+        runtime.run()
+        assert f.value == sum(x * x for x in range(10))
+
+    def test_empty_returns_initial(self):
+        runtime = rt()
+        f = parallel_reduce(runtime, lambda x: x, [], lambda a, b: a + b, 42)
+        assert f.value == 42
+
+    def test_single_chunk(self):
+        runtime = rt()
+        f = parallel_reduce(
+            runtime, lambda x: x, [5, 6], lambda a, b: a + b, 0,
+            chunk=StaticChunkSize(100),
+        )
+        runtime.run()
+        assert f.value == 11
+
+    def test_max_reduction(self):
+        runtime = rt()
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        f = parallel_reduce(
+            runtime, lambda x: x, values, max, float("-inf"),
+            chunk=StaticChunkSize(2),
+        )
+        runtime.run()
+        assert f.value == 9
+
+    def test_exception_propagates(self):
+        runtime = rt()
+        f = parallel_reduce(
+            runtime, lambda x: 1 // x, [1, 1, 0, 1], lambda a, b: a + b, 0,
+            chunk=StaticChunkSize(1),
+        )
+        runtime.run()
+        assert f.has_exception
+
+    def test_auto_chunk_rejected(self):
+        runtime = rt()
+        with pytest.raises(NotImplementedError):
+            parallel_reduce(
+                runtime, lambda x: x, [1], lambda a, b: a + b, 0,
+                chunk=AutoChunkSize(),
+            )
+
+    def test_parallel_speedup(self):
+        def time_with(cores):
+            runtime = rt(cores=cores, seed=6)
+            parallel_reduce(
+                runtime, lambda x: x, list(range(512)), lambda a, b: a + b, 0,
+                item_ns=50_000, chunk=StaticChunkSize(8),
+            )
+            return runtime.run().execution_time_ns
+
+        assert time_with(8) < time_with(1) / 3

@@ -1,0 +1,126 @@
+"""Unit tests for the characterization driver (the paper's methodology)."""
+
+import pytest
+
+from repro.apps.stencil1d import stencil_run_fn
+from repro.core.characterize import (
+    CharacterizationReport,
+    characterize,
+    default_partition_sweep,
+)
+
+TOTAL = 1 << 16
+RUN_FN = stencil_run_fn(TOTAL, time_steps=2)
+
+
+class TestDefaultSweep:
+    def test_covers_range(self):
+        sweep = default_partition_sweep(10_000, finest=100, points_per_decade=2)
+        assert sweep[0] == 100
+        assert sweep[-1] == 10_000
+        assert sweep == sorted(set(sweep))
+
+    def test_geometric_spacing(self):
+        sweep = default_partition_sweep(100_000, finest=100, points_per_decade=1)
+        assert sweep == [100, 1_000, 10_000, 100_000]
+
+    def test_single_point_when_finest_is_total(self):
+        assert default_partition_sweep(512, finest=512) == [512]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_partition_sweep(100, finest=0)
+        with pytest.raises(ValueError):
+            default_partition_sweep(100, finest=101)
+        with pytest.raises(ValueError):
+            default_partition_sweep(100, finest=10, points_per_decade=0)
+
+
+@pytest.fixture(scope="module")
+def report() -> CharacterizationReport:
+    return characterize(
+        RUN_FN,
+        [512, 4096, TOTAL],
+        platform="haswell",
+        num_cores=4,
+        repetitions=2,
+        seed=1,
+    )
+
+
+class TestCharacterize:
+    def test_one_point_per_grain(self, report):
+        assert report.grains() == [512, 4096, TOTAL]
+
+    def test_repetitions_recorded(self, report):
+        assert all(p.repetitions == 2 for p in report.points)
+        assert all(p.execution_time_s.n == 2 for p in report.points)
+
+    def test_single_core_reference_measured(self, report):
+        for p in report.points:
+            assert p.task_duration_1core_ns is not None
+            assert p.task_duration_1core_ns > 0
+            assert p.metrics.wait_time_per_task_ns is not None
+
+    def test_task_counts_match_structure(self, report):
+        # ceil(65536/512)=128 partitions x 2 steps.
+        assert report.point_at(512).tasks_executed == 256
+        assert report.point_at(TOTAL).tasks_executed == 2
+
+    def test_metrics_computed_from_means(self, report):
+        p = report.point_at(4096)
+        assert p.metrics.num_cores == 4
+        assert p.metrics.execution_time_ns == pytest.approx(
+            p.execution_time_s.mean * 1e9, rel=1e-6
+        )
+
+    def test_series_projection(self, report):
+        series = report.series("execution_time_s")
+        assert [g for g, _ in series] == report.grains()
+        assert all(v > 0 for _, v in series)
+
+    def test_series_wait_time(self, report):
+        series = report.series("wait_per_core_s")
+        assert len(series) == 3
+
+    def test_series_unknown_quantity(self, report):
+        with pytest.raises(KeyError):
+            report.series("nope")
+
+    def test_point_at_missing_grain(self, report):
+        with pytest.raises(KeyError):
+            report.point_at(12345)
+
+    def test_to_table_renders(self, report):
+        table = report.to_table()
+        assert "haswell" in table
+        assert "idle-rate" in table
+        assert "512" in table
+
+    def test_regions_ordered_fine_to_coarse(self, report):
+        regions = [p.region for p in report.points]
+        # Finest grain must not be 'coarse', coarsest must be 'coarse'.
+        assert regions[-1] == "coarse"
+        assert regions[0] in ("fine", "medium")
+
+    def test_repetitions_validation(self):
+        with pytest.raises(ValueError):
+            characterize(RUN_FN, [512], repetitions=0)
+
+    def test_skip_reference_pass(self):
+        rep = characterize(
+            RUN_FN,
+            [4096],
+            num_cores=2,
+            repetitions=1,
+            measure_single_core_reference=False,
+        )
+        p = rep.points[0]
+        assert p.task_duration_1core_ns is None
+        assert p.metrics.wait_time_per_task_ns is None
+
+    def test_single_core_reference_on_one_core_run(self):
+        rep = characterize(RUN_FN, [4096], num_cores=1, repetitions=1)
+        p = rep.points[0]
+        # On one core t_d1 == t_d by definition, so wait time is zero.
+        assert p.metrics.wait_time_per_task_ns == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,43 @@
+"""Every example script must run cleanly end-to-end.
+
+Examples are user-facing documentation; this keeps them from rotting as the
+library evolves.  Marked ``slow``: together they cost a couple of minutes.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: a string each example must print (proof it reached its payoff, not just
+#: exited early)
+EXPECTED_OUTPUT = {
+    "quickstart.py": "sum of squares",
+    "stencil_characterization.py": "grain selection",
+    "adaptive_granularity.py": "recommended grain",
+    "graph_workload.py": "scheduler ablation",
+    "dynamic_monitoring.py": "whole run:",
+    "schedule_visualization.py": "critical path",
+    "parallel_algorithms.py": "auto vs best static",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert EXPECTED_OUTPUT[example] in proc.stdout

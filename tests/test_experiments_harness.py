@@ -1,0 +1,142 @@
+"""Unit tests for the experiment harness: scales, shape checks, reporting."""
+
+import pytest
+
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.harness import (
+    check_high_at_fine_end,
+    check_monotone_increase,
+    check_negative_tail,
+    check_tracks,
+    check_u_shape,
+    sweep_for,
+)
+from repro.experiments.report import FigureResult, Series
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "bench", "default", "paper"}
+
+    def test_paper_scale_matches_paper(self):
+        paper = get_scale("paper")
+        assert paper.total_points == 100_000_000
+        assert paper.time_steps == 50
+        assert paper.phi_time_steps == 5
+        assert paper.repetitions == 10
+        assert paper.finest_partition == 160
+
+    def test_phi_gets_fewer_steps(self):
+        scale = get_scale("bench")
+        assert scale.time_steps_for("xeon-phi") == scale.phi_time_steps
+        assert scale.time_steps_for("haswell") == scale.time_steps
+
+    def test_with_override(self):
+        scale = get_scale("smoke").with_(repetitions=5)
+        assert scale.repetitions == 5
+        assert scale.total_points == get_scale("smoke").total_points
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_sweep_for_ends_at_total(self):
+        scale = get_scale("smoke")
+        sweep = sweep_for(scale)
+        assert sweep[-1] == scale.total_points
+        assert sweep[0] == scale.finest_partition
+
+
+class TestUShapeCheck:
+    def test_accepts_u(self):
+        pts = [(1, 10.0), (10, 2.0), (100, 1.0), (1000, 3.0)]
+        assert check_u_shape(pts, "x") == []
+
+    def test_rejects_monotone_decreasing(self):
+        pts = [(1, 10.0), (10, 5.0), (100, 1.0)]
+        problems = check_u_shape(pts, "x")
+        assert any("coarse-grained wall" in p for p in problems)
+
+    def test_rejects_monotone_increasing(self):
+        pts = [(1, 1.0), (10, 5.0), (100, 10.0)]
+        problems = check_u_shape(pts, "x")
+        assert any("fine-grained wall" in p for p in problems)
+
+    def test_rejects_minimum_at_boundary(self):
+        pts = [(1, 1.0), (10, 5.0), (100, 10.0)]
+        assert any("boundary" in p or "wall" in p for p in check_u_shape(pts, "x"))
+
+    def test_too_few_points(self):
+        assert check_u_shape([(1, 1.0)], "x")
+
+
+class TestOtherChecks:
+    def test_high_at_fine_end(self):
+        assert check_high_at_fine_end([(1, 0.9), (10, 0.1)], "x", floor=0.5) == []
+        assert check_high_at_fine_end([(1, 0.3)], "x", floor=0.5)
+
+    def test_monotone_increase(self):
+        assert check_monotone_increase([(1, 1.0), (2, 2.0), (3, 3.0)], "x") == []
+        assert check_monotone_increase([(1, 3.0), (2, 1.0)], "x")
+
+    def test_monotone_increase_allows_slack(self):
+        pts = [(1, 1.0), (2, 0.97)]  # 3% dip within 5% slack
+        assert check_monotone_increase(pts, "x", slack=0.05) == []
+
+    def test_negative_tail(self):
+        assert check_negative_tail([(1, 5.0), (2, -1.0)], "x") == []
+        assert check_negative_tail([(1, -5.0), (2, 1.0)], "x")
+        assert check_negative_tail([], "x")
+
+    def test_tracks_correlated(self):
+        a = [(x, float(x)) for x in range(10)]
+        b = [(x, float(x) * 2 + 1) for x in range(10)]
+        assert check_tracks(a, b, "x") == []
+
+    def test_tracks_anticorrelated(self):
+        a = [(x, float(x)) for x in range(10)]
+        b = [(x, float(10 - x)) for x in range(10)]
+        assert check_tracks(a, b, "x")
+
+    def test_tracks_requires_shared_points(self):
+        a = [(x, 1.0) for x in range(3)]
+        b = [(x + 100, 1.0) for x in range(3)]
+        assert check_tracks(a, b, "x")
+
+
+class TestFigureResult:
+    def make_fig(self):
+        fig = FigureResult(
+            figure_id="figX",
+            title="Test figure",
+            xlabel="grain",
+            ylabel="seconds",
+        )
+        fig.add_series("panel A", Series("s1", [(1.0, 2.0), (10.0, 3.0)]))
+        fig.add_series("panel A", Series("s2", [(1.0, 5.0)]))
+        fig.notes.append("a note")
+        return fig
+
+    def test_render_contains_everything(self):
+        text = self.make_fig().render()
+        assert "figX" in text
+        assert "panel A" in text
+        assert "s1" in text and "s2" in text
+        assert "a note" in text
+
+    def test_render_plots_toggle(self):
+        with_plots = self.make_fig().render(plots=True)
+        without = self.make_fig().render(plots=False)
+        assert "legend:" in with_plots
+        assert "legend:" not in without
+
+    def test_table_merges_x_values(self):
+        text = self.make_fig().render(plots=False)
+        # x=1 row has both series; x=10 row has s1 only (blank cell).
+        assert "2" in text and "5" in text and "3" in text
+
+    def test_markdown_sections(self):
+        md = self.make_fig().to_markdown()
+        assert md.startswith("### figX")
+        assert "```" in md
+        assert "- a note" in md

@@ -1,0 +1,163 @@
+"""Integration tests: every experiment runs end-to-end at smoke scale.
+
+These tests verify the harness machinery (runners produce well-formed
+FigureResults, the CLI drives them, markdown renders); the *scientific*
+shape checks are exercised at bench/default scale by the benchmarks and the
+EXPERIMENTS.md generation, because several shapes need more tasks per core
+than the smoke scale provides.
+"""
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.config import get_scale
+
+SMOKE = get_scale("smoke")
+
+
+class TestTable1:
+    def test_run_and_checks(self):
+        from repro.experiments import table1_platforms as exp
+
+        fig = exp.run(SMOKE)
+        assert exp.shape_checks(fig) == []
+        assert "Table I" in fig.notes[0]
+        assert "28" in fig.notes[0]  # Haswell cores
+
+
+class TestFigureRunnersSmoke:
+    """Each runner produces panels/series of the expected shape."""
+
+    def test_fig3_single_platform(self):
+        from repro.experiments import fig3_execution_time as exp
+
+        fig = exp.run(SMOKE.with_(points_per_decade=1), platforms=["sandy-bridge"])
+        (panel,) = fig.panels
+        assert "Sandy Bridge" in panel
+        series = fig.panels[panel]
+        assert len(series) == 6  # the paper's SB core counts
+        assert all(s.points for s in series)
+
+    def test_fig4_structure(self):
+        from repro.experiments import fig4_idle_rate_haswell as exp
+
+        fig = exp.run(SMOKE.with_(points_per_decade=1))
+        assert set(fig.panels) == {
+            "haswell 8 cores", "haswell 16 cores", "haswell 28 cores",
+        }
+        for series_list in fig.panels.values():
+            labels = {s.label for s in series_list}
+            assert labels == {"execution time (s)", "idle-rate"}
+            idle = next(s for s in series_list if s.label == "idle-rate")
+            assert all(0.0 <= y <= 1.0 for _, y in idle.points)
+
+    def test_fig6_wait_times_positive_masses(self):
+        from repro.experiments import fig6_wait_time as exp
+
+        fig = exp.run(SMOKE)
+        (panel,) = fig.panels
+        assert len(fig.panels[panel]) == 4  # 4/8/16/28 cores
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems
+
+    def test_fig7_series_complete(self):
+        from repro.experiments import fig7_decomposition_haswell as exp
+
+        fig = exp.run(SMOKE.with_(points_per_decade=1))
+        for series_list in fig.panels.values():
+            assert {s.label for s in series_list} == {
+                "Exec Time", "HPX-TM", "WT", "HPX-TM & WT",
+            }
+
+    def test_fig9_series_complete(self):
+        from repro.experiments import fig9_pending_queue_haswell as exp
+
+        fig = exp.run(SMOKE.with_(points_per_decade=1))
+        for series_list in fig.panels.values():
+            assert {s.label for s in series_list} == {
+                "execution time (s)", "pending-Q accesses",
+            }
+            accesses = next(
+                s for s in series_list if s.label == "pending-Q accesses"
+            )
+            assert all(y > 0 for _, y in accesses.points)
+
+    def test_selection_outcomes_attached(self):
+        from repro.experiments import selection_experiment as exp
+
+        fig = exp.run(SMOKE)
+        outcomes = fig.outcomes  # type: ignore[attr-defined]
+        assert [o.rule for o in outcomes] == [
+            "min-time-oracle", "idle-rate<=30%", "min-pending-accesses",
+        ]
+        assert outcomes[0].slowdown == 1.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in cli.EXPERIMENT_MODULES:
+            assert name in out
+
+    def test_run_table1(self, capsys):
+        rc = cli.main(["table1", "--scale", "smoke", "--no-plots"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all shape checks passed" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        rc = cli.main(
+            ["table1", "--scale", "smoke", "--no-plots", "--markdown", str(path)]
+        )
+        assert rc == 0
+        text = path.read_text()
+        assert "## table1" in text
+        assert "**Paper claims**" in text
+        assert "**Shape checks**" in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            cli.run_experiment("fig99", "smoke")
+
+    def test_no_experiments_errors(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_all_expands(self):
+        # Don't actually run 'all' (slow); check the expansion logic via
+        # the registry being non-trivial.
+        assert len(cli.EXPERIMENT_MODULES) == 15
+
+
+class TestExtensionExperimentsSmoke:
+    """The extension experiments run end-to-end at smoke scale."""
+
+    @pytest.mark.slow
+    def test_throttling_runs(self):
+        from repro.experiments import throttling_experiment as exp
+
+        fig = exp.run(SMOKE)
+        (panel,) = fig.panels
+        labels = {s.label for s in fig.panels[panel]}
+        assert "plain (28 workers)" in labels
+        assert "throttled" in labels
+        assert "final worker limit" in labels
+
+    @pytest.mark.slow
+    def test_cov_runs(self):
+        from repro.experiments import cov_experiment as exp
+
+        fig = exp.run(SMOKE.with_(points_per_decade=1))
+        (panel,) = fig.panels
+        for series in fig.panels[panel]:
+            assert all(v >= 0.0 for _, v in series.points)
+
+    @pytest.mark.slow
+    def test_wavefront_runs_and_checks(self):
+        from repro.experiments import wavefront_generality as exp
+
+        fig = exp.run(SMOKE)
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems

@@ -1,0 +1,279 @@
+"""Unit tests for futures, when_all, and dataflow composition."""
+
+import pytest
+
+from repro.runtime.future import (
+    when_any,
+    Future,
+    FutureError,
+    dataflow,
+    make_ready_future,
+    when_all,
+)
+from repro.runtime.task import Task
+from repro.runtime.work import FixedWork, NoWork
+
+
+class FakeSpawner:
+    """Captures spawned tasks; optionally runs them immediately."""
+
+    def __init__(self, run_immediately: bool = True):
+        self.spawned: list[Task] = []
+        self.run_immediately = run_immediately
+
+    def spawn(self, task: Task) -> None:
+        self.spawned.append(task)
+        if self.run_immediately and task.fn is not None:
+            task.fn()
+
+
+class TestFuture:
+    def test_not_ready_initially(self):
+        f = Future("f")
+        assert not f.is_ready
+        assert not f.has_exception
+
+    def test_set_and_read_value(self):
+        f = Future()
+        f.set_value(42)
+        assert f.is_ready
+        assert f.value == 42
+
+    def test_reading_unready_raises(self):
+        with pytest.raises(FutureError, match="not ready"):
+            Future("f").value
+
+    def test_double_set_raises(self):
+        f = Future()
+        f.set_value(1)
+        with pytest.raises(FutureError, match="already satisfied"):
+            f.set_value(2)
+
+    def test_set_exception(self):
+        f = Future()
+        f.set_exception(ValueError("boom"))
+        assert f.is_ready
+        assert f.has_exception
+        with pytest.raises(ValueError, match="boom"):
+            f.value
+
+    def test_exception_then_value_raises(self):
+        f = Future()
+        f.set_exception(ValueError("x"))
+        with pytest.raises(FutureError):
+            f.set_value(1)
+
+    def test_callback_on_set(self):
+        f = Future()
+        seen = []
+        f.on_ready(seen.append)
+        f.set_value(5)
+        assert seen == [f]
+
+    def test_callback_immediate_when_already_ready(self):
+        f = make_ready_future(1)
+        seen = []
+        f.on_ready(seen.append)
+        assert seen == [f]
+
+    def test_multiple_callbacks_in_order(self):
+        f = Future()
+        order = []
+        f.on_ready(lambda _: order.append(1))
+        f.on_ready(lambda _: order.append(2))
+        f.set_value(None)
+        assert order == [1, 2]
+
+    def test_callbacks_fire_on_exception_too(self):
+        f = Future()
+        seen = []
+        f.on_ready(seen.append)
+        f.set_exception(RuntimeError("e"))
+        assert seen == [f]
+
+    def test_make_ready_future(self):
+        f = make_ready_future("v", name="n")
+        assert f.is_ready and f.value == "v" and f.name == "n"
+
+
+class TestWhenAll:
+    def test_empty_is_immediately_ready(self):
+        f = when_all([])
+        assert f.is_ready
+        assert f.value == []
+
+    def test_waits_for_all(self):
+        a, b = Future("a"), Future("b")
+        combined = when_all([a, b])
+        a.set_value(1)
+        assert not combined.is_ready
+        b.set_value(2)
+        assert combined.is_ready
+
+    def test_value_is_list_of_futures(self):
+        a, b = make_ready_future(1), make_ready_future(2)
+        combined = when_all([a, b])
+        assert combined.value == [a, b]
+        assert [f.value for f in combined.value] == [1, 2]
+
+    def test_duplicate_futures_counted_per_slot(self):
+        # The stencil with one partition depends on the same future three
+        # times; when_all must handle that.
+        f = Future()
+        combined = when_all([f, f, f])
+        assert not combined.is_ready
+        f.set_value(9)
+        assert combined.is_ready
+        assert combined.value == [f, f, f]
+
+    def test_all_ready_inputs(self):
+        combined = when_all([make_ready_future(i) for i in range(3)])
+        assert combined.is_ready
+
+
+class TestDataflow:
+    def test_runs_on_dependency_values(self):
+        spawner = FakeSpawner()
+        a, b = make_ready_future(2), make_ready_future(3)
+        result = dataflow(spawner, lambda x, y: x * y, [a, b])
+        assert result.value == 6
+        assert len(spawner.spawned) == 1
+
+    def test_waits_for_dependencies(self):
+        spawner = FakeSpawner()
+        a = Future("a")
+        result = dataflow(spawner, lambda x: x + 1, [a])
+        assert not result.is_ready
+        assert spawner.spawned == []
+        a.set_value(10)
+        assert result.value == 11
+
+    def test_zero_dependencies_spawn_immediately(self):
+        spawner = FakeSpawner()
+        result = dataflow(spawner, lambda: "done", [])
+        assert result.value == "done"
+
+    def test_work_descriptor_attached(self):
+        spawner = FakeSpawner(run_immediately=False)
+        dataflow(
+            spawner, lambda x: x, [make_ready_future(1)], work=FixedWork(500)
+        )
+        assert spawner.spawned[0].work == FixedWork(500)
+
+    def test_default_work_is_nowork(self):
+        spawner = FakeSpawner(run_immediately=False)
+        dataflow(spawner, lambda x: x, [make_ready_future(1)])
+        assert isinstance(spawner.spawned[0].work, NoWork)
+
+    def test_body_exception_propagates_to_result(self):
+        spawner = FakeSpawner()
+
+        def bad(_x):
+            raise KeyError("inner")
+
+        result = dataflow(spawner, bad, [make_ready_future(1)])
+        assert result.has_exception
+        with pytest.raises(KeyError):
+            result.value
+
+    def test_dependency_exception_skips_body(self):
+        spawner = FakeSpawner()
+        failed = Future("failed")
+        failed.set_exception(ValueError("dep"))
+        calls = []
+        result = dataflow(spawner, lambda x: calls.append(x), [failed])
+        assert result.has_exception
+        assert calls == []
+        assert spawner.spawned == []  # task never created
+
+    def test_chained_dataflow(self):
+        spawner = FakeSpawner()
+        a = Future("a")
+        b = dataflow(spawner, lambda x: x + 1, [a])
+        c = dataflow(spawner, lambda x: x * 2, [b])
+        a.set_value(1)
+        assert c.value == 4
+
+    def test_name_defaults_to_fn_name(self):
+        spawner = FakeSpawner(run_immediately=False)
+
+        def my_kernel(x):
+            return x
+
+        result = dataflow(spawner, my_kernel, [make_ready_future(1)])
+        assert result.name == "my_kernel"
+
+
+class TestWhenAny:
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            when_any([])
+
+    def test_first_ready_wins(self):
+        from repro.runtime.future import when_any as wa
+
+        a, b = Future("a"), Future("b")
+        result = wa([a, b])
+        b.set_value("b-value")
+        assert result.is_ready
+        index, winner = result.value
+        assert index == 1 and winner is b
+        a.set_value("late")  # must not disturb the result
+        assert result.value[1] is b
+
+    def test_already_ready_input(self):
+        from repro.runtime.future import when_any as wa
+
+        a = make_ready_future(1, "a")
+        b = Future("b")
+        index, winner = wa([a, b]).value
+        assert index == 0 and winner is a
+
+    def test_tie_broken_by_input_order(self):
+        from repro.runtime.future import when_any as wa
+
+        a, b = make_ready_future(1), make_ready_future(2)
+        index, _ = wa([a, b]).value
+        assert index == 0
+
+
+class TestThen:
+    def test_continuation_receives_future(self):
+        from repro.runtime.future import then
+
+        spawner = FakeSpawner()
+        a = Future("a")
+        cont = then(spawner, a, lambda f: f.value * 10)
+        assert not cont.is_ready
+        a.set_value(4)
+        assert cont.value == 40
+
+    def test_continuation_runs_on_failed_future(self):
+        from repro.runtime.future import then
+
+        spawner = FakeSpawner()
+        a = Future("a")
+        cont = then(
+            spawner, a,
+            lambda f: "recovered" if f.has_exception else "no error",
+        )
+        a.set_exception(RuntimeError("boom"))
+        assert cont.value == "recovered"
+
+    def test_continuation_exception_propagates(self):
+        from repro.runtime.future import then
+
+        spawner = FakeSpawner()
+        cont = then(spawner, make_ready_future(1), lambda f: 1 / 0)
+        assert cont.has_exception
+
+    def test_runs_on_simulated_runtime(self):
+        from repro.runtime.future import then
+        from repro.runtime.runtime import Runtime
+        from repro.runtime.work import FixedWork
+
+        rt = Runtime(num_cores=2)
+        a = rt.async_(lambda: 5, work=FixedWork(1_000))
+        cont = then(rt, a, lambda f: f.value + 1, work=FixedWork(500))
+        rt.run()
+        assert cont.value == 6

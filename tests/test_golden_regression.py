@@ -1,0 +1,71 @@
+"""Golden regression: exact pinned outputs for one fixed configuration.
+
+The simulation is deterministic by design (integer-ns clock, seeded RNG,
+tie-broken event order), so one run's headline numbers can be pinned
+*exactly*.  If any of these values moves, a change has altered either the
+cost model's calibration or the scheduler's event order — both of which
+shift every reproduced figure and must be a conscious decision:
+re-baseline this file AND re-generate EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.apps.stencil1d import StencilConfig, run_stencil
+from repro.runtime.runtime import RuntimeConfig
+
+GOLDEN_CONFIG = dict(platform="haswell", num_cores=8, seed=12345)
+GOLDEN_STENCIL = dict(
+    total_points=1 << 16, partition_points=1024, time_steps=4
+)
+
+#: pinned values for the configuration above (see module docstring)
+EXPECTED = {
+    "execution_time_ns": 105_767,
+    "tasks_executed": 256,
+    "pending_accesses": 921.0,
+    "pending_misses": 665.0,
+    "cumulative_exec_ns": 372_019.0,
+    "idle_rate": pytest.approx(0.560331908818, abs=1e-9),
+    "stolen": 65.0,
+    "phases": 256.0,
+}
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    out = run_stencil(
+        RuntimeConfig(**GOLDEN_CONFIG), StencilConfig(**GOLDEN_STENCIL)
+    )
+    return out.result
+
+
+class TestGoldenRun:
+    def test_execution_time(self, golden_run):
+        assert golden_run.execution_time_ns == EXPECTED["execution_time_ns"]
+
+    def test_task_count(self, golden_run):
+        assert golden_run.tasks_executed == EXPECTED["tasks_executed"]
+
+    def test_pending_queue_counters(self, golden_run):
+        assert golden_run.pending_accesses == EXPECTED["pending_accesses"]
+        assert golden_run.pending_misses == EXPECTED["pending_misses"]
+
+    def test_cumulative_exec(self, golden_run):
+        assert golden_run.cumulative_exec_ns == EXPECTED["cumulative_exec_ns"]
+
+    def test_idle_rate(self, golden_run):
+        assert golden_run.idle_rate == EXPECTED["idle_rate"]
+
+    def test_steal_count(self, golden_run):
+        assert golden_run.counters.get("/threads/count/stolen") == EXPECTED["stolen"]
+
+    def test_phase_count(self, golden_run):
+        assert golden_run.phases == EXPECTED["phases"]
+
+    def test_rerun_is_bit_identical(self, golden_run):
+        again = run_stencil(
+            RuntimeConfig(**GOLDEN_CONFIG), StencilConfig(**GOLDEN_STENCIL)
+        ).result
+        assert again.execution_time_ns == golden_run.execution_time_ns
+        assert again.pending_accesses == golden_run.pending_accesses
+        assert again.cumulative_exec_ns == golden_run.cumulative_exec_ns

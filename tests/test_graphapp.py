@@ -1,0 +1,106 @@
+"""Unit tests for the task-parallel graph traversal workload."""
+
+import pytest
+
+from repro.apps.graphapp import GraphAppConfig, make_layered_graph, run_graph_bfs
+from repro.runtime.runtime import RuntimeConfig
+
+
+def rc(cores=4, scheduler="priority-local", seed=1):
+    return RuntimeConfig(
+        platform="haswell", num_cores=cores, scheduler=scheduler, seed=seed
+    )
+
+
+class TestGraphGeneration:
+    def test_layer_structure(self):
+        cfg = GraphAppConfig(layers=5, mean_width=10, seed=3)
+        g = make_layered_graph(cfg)
+        layers = {data["layer"] for _, data in g.nodes(data=True)}
+        assert layers == set(range(5))
+
+    def test_edges_only_between_adjacent_layers(self):
+        cfg = GraphAppConfig(layers=6, mean_width=8, seed=5)
+        g = make_layered_graph(cfg)
+        for u, v in g.edges:
+            assert g.nodes[v]["layer"] - g.nodes[u]["layer"] == 1
+
+    def test_every_nonroot_vertex_has_predecessor(self):
+        cfg = GraphAppConfig(layers=4, mean_width=6, seed=2)
+        g = make_layered_graph(cfg)
+        for v, data in g.nodes(data=True):
+            if data["layer"] > 0:
+                assert g.in_degree(v) >= 1
+
+    def test_deterministic_per_seed(self):
+        cfg = GraphAppConfig(seed=11)
+        g1, g2 = make_layered_graph(cfg), make_layered_graph(cfg)
+        assert sorted(g1.edges) == sorted(g2.edges)
+
+    def test_widths_vary(self):
+        cfg = GraphAppConfig(layers=20, mean_width=16, seed=4)
+        g = make_layered_graph(cfg)
+        widths = {}
+        for _, data in g.nodes(data=True):
+            widths[data["layer"]] = widths.get(data["layer"], 0) + 1
+        assert len(set(widths.values())) > 1  # irregular by construction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphAppConfig(layers=0)
+        with pytest.raises(ValueError):
+            GraphAppConfig(visits_per_task=0)
+        with pytest.raises(ValueError):
+            GraphAppConfig(edges_per_vertex=0)
+
+
+class TestTraversal:
+    def test_visits_every_vertex_once(self):
+        cfg = GraphAppConfig(layers=8, mean_width=12, visit_ns=1_000, seed=7)
+        result = run_graph_bfs(rc(), cfg)
+        g = make_layered_graph(cfg)
+        assert result.tasks_executed == sum(
+            -(-w // cfg.visits_per_task)
+            for w in _layer_widths(g).values()
+        )
+
+    def test_batching_reduces_task_count(self):
+        cfg1 = GraphAppConfig(layers=6, mean_width=16, visits_per_task=1, seed=9)
+        cfg4 = GraphAppConfig(layers=6, mean_width=16, visits_per_task=4, seed=9)
+        r1 = run_graph_bfs(rc(), cfg1)
+        r4 = run_graph_bfs(rc(), cfg4)
+        assert r4.tasks_executed < r1.tasks_executed
+
+    def test_batching_is_the_granularity_knob(self):
+        """With tiny visits, batching (coarsening) wins — the same
+        granularity trade-off as the stencil's partition size."""
+        fine = GraphAppConfig(
+            layers=12, mean_width=64, visit_ns=300, visits_per_task=1, seed=3
+        )
+        batched = GraphAppConfig(
+            layers=12, mean_width=64, visit_ns=300, visits_per_task=16, seed=3
+        )
+        t_fine = run_graph_bfs(rc(cores=8), fine)
+        t_batched = run_graph_bfs(rc(cores=8), batched)
+        assert t_batched.execution_time_ns < t_fine.execution_time_ns
+
+    def test_runs_under_every_scheduler(self):
+        cfg = GraphAppConfig(layers=5, mean_width=8, seed=2)
+        for scheduler in ("priority-local", "static", "global-queue", "numa-blind"):
+            result = run_graph_bfs(rc(scheduler=scheduler), cfg)
+            assert result.execution_time_ns > 0
+
+    def test_stealing_beats_static_on_irregular_load(self):
+        cfg = GraphAppConfig(
+            layers=16, mean_width=24, visit_ns=50_000, seed=13
+        )
+        stealing = run_graph_bfs(rc(cores=8, scheduler="priority-local"), cfg)
+        static = run_graph_bfs(rc(cores=8, scheduler="static"), cfg)
+        assert static.execution_time_ns > stealing.execution_time_ns
+
+
+def _layer_widths(g):
+    widths: dict[int, int] = {}
+    for _, data in g.nodes(data=True):
+        widths[data["layer"]] = widths.get(data["layer"], 0) + 1
+    return widths

@@ -1,0 +1,135 @@
+"""Unit tests for Eq. 1-6 (repro.core.metrics) on hand-crafted inputs."""
+
+import pytest
+
+from repro.core.metrics import GranularityMetrics, MetricInputs
+
+
+def inputs(**overrides) -> MetricInputs:
+    base = dict(
+        execution_time_ns=1_000_000.0,
+        cumulative_exec_ns=600_000.0,
+        cumulative_func_ns=800_000.0,
+        tasks_executed=100,
+        num_cores=4,
+        pending_accesses=500.0,
+        pending_misses=50.0,
+        task_duration_1core_ns=5_000.0,
+    )
+    base.update(overrides)
+    return MetricInputs(**base)
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            inputs(num_cores=0)
+
+    def test_rejects_negative_tasks(self):
+        with pytest.raises(ValueError):
+            inputs(tasks_executed=-1)
+
+    def test_rejects_func_below_exec(self):
+        with pytest.raises(ValueError, match="func"):
+            inputs(cumulative_func_ns=100.0, cumulative_exec_ns=200.0)
+
+
+class TestEquations:
+    def test_eq1_idle_rate(self):
+        m = GranularityMetrics.compute(inputs())
+        # (800k - 600k) / 800k = 0.25
+        assert m.idle_rate == pytest.approx(0.25)
+
+    def test_eq2_task_duration(self):
+        m = GranularityMetrics.compute(inputs())
+        assert m.task_duration_ns == pytest.approx(6_000.0)
+
+    def test_eq3_task_overhead(self):
+        m = GranularityMetrics.compute(inputs())
+        assert m.task_overhead_ns == pytest.approx(2_000.0)
+
+    def test_eq4_tm_per_core(self):
+        m = GranularityMetrics.compute(inputs())
+        # t_o * n_t / n_c = 2000 * 100 / 4
+        assert m.thread_management_per_core_ns == pytest.approx(50_000.0)
+
+    def test_eq5_wait_time(self):
+        m = GranularityMetrics.compute(inputs())
+        # t_d - t_d1 = 6000 - 5000
+        assert m.wait_time_per_task_ns == pytest.approx(1_000.0)
+
+    def test_eq6_wait_per_core(self):
+        m = GranularityMetrics.compute(inputs())
+        # (t_d - t_d1) * n_t / n_c = 1000 * 100 / 4
+        assert m.wait_time_per_core_ns == pytest.approx(25_000.0)
+
+    def test_negative_wait_preserved(self):
+        m = GranularityMetrics.compute(inputs(task_duration_1core_ns=9_000.0))
+        assert m.wait_time_per_task_ns == pytest.approx(-3_000.0)
+        assert m.wait_time_per_core_ns == pytest.approx(-75_000.0)
+
+    def test_wait_none_without_reference(self):
+        m = GranularityMetrics.compute(inputs(task_duration_1core_ns=None))
+        assert m.wait_time_per_task_ns is None
+        assert m.wait_time_per_core_ns is None
+        assert m.combined_cost_ns is None
+
+    def test_combined_cost(self):
+        m = GranularityMetrics.compute(inputs())
+        assert m.combined_cost_ns == pytest.approx(75_000.0)
+
+    def test_identity_idle_rate_vs_overheads(self):
+        """Eq. 1 and Eq. 3 describe the same quantity at different
+        granularity: Ir * Σt_func == t_o * n_t."""
+        m = GranularityMetrics.compute(inputs())
+        assert m.idle_rate * 800_000.0 == pytest.approx(
+            m.task_overhead_ns * m.tasks_executed
+        )
+
+
+class TestDegenerateCases:
+    def test_zero_tasks(self):
+        m = GranularityMetrics.compute(
+            inputs(tasks_executed=0, cumulative_exec_ns=0.0)
+        )
+        assert m.task_duration_ns == 0.0
+        assert m.task_overhead_ns == 0.0
+        assert m.thread_management_per_core_ns == 0.0
+
+    def test_zero_func_time(self):
+        m = GranularityMetrics.compute(
+            inputs(cumulative_func_ns=0.0, cumulative_exec_ns=0.0)
+        )
+        assert m.idle_rate == 0.0
+
+    def test_pending_miss_rate(self):
+        m = GranularityMetrics.compute(inputs())
+        assert m.pending_miss_rate == pytest.approx(0.1)
+
+    def test_pending_miss_rate_no_accesses(self):
+        m = GranularityMetrics.compute(inputs(pending_accesses=0.0, pending_misses=0.0))
+        assert m.pending_miss_rate == 0.0
+
+    def test_execution_time_seconds(self):
+        m = GranularityMetrics.compute(inputs())
+        assert m.execution_time_s == pytest.approx(1e-3)
+
+
+class TestFromRunResult:
+    def test_extraction(self):
+        from repro.runtime.runtime import Runtime
+        from repro.runtime.work import FixedWork
+
+        rt = Runtime(num_cores=2, seed=1)
+        for _ in range(10):
+            rt.async_(lambda: None, work=FixedWork(1_000))
+        result = rt.run()
+        mi = MetricInputs.from_run_result(result, task_duration_1core_ns=900.0)
+        assert mi.tasks_executed == 10
+        assert mi.num_cores == 2
+        assert mi.execution_time_ns == float(result.execution_time_ns)
+        m = GranularityMetrics.compute(mi)
+        assert m.idle_rate == pytest.approx(result.idle_rate, rel=1e-9)
+        assert m.task_duration_ns == pytest.approx(
+            result.task_duration_ns, rel=1e-9
+        )

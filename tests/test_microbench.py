@@ -1,0 +1,96 @@
+"""Unit tests for the micro-benchmark task populations."""
+
+import pytest
+
+from repro.apps.microbench import (
+    MicrobenchConfig,
+    run_forkjoin_tree,
+    run_suspension_chain,
+    run_task_ladder,
+)
+from repro.runtime.runtime import RuntimeConfig
+
+
+def rc(cores=4, seed=1):
+    return RuntimeConfig(platform="haswell", num_cores=cores, seed=seed)
+
+
+class TestConfig:
+    def test_task_ns(self):
+        cfg = MicrobenchConfig(total_work_ns=1_000_000, num_tasks=100)
+        assert cfg.task_ns == 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicrobenchConfig(num_tasks=0)
+        with pytest.raises(ValueError):
+            MicrobenchConfig(total_work_ns=10, num_tasks=100)
+
+
+class TestTaskLadder:
+    def test_executes_all_tasks(self):
+        result = run_task_ladder(
+            rc(), MicrobenchConfig(total_work_ns=10_000_000, num_tasks=50)
+        )
+        assert result.tasks_executed == 50
+
+    def test_finer_grain_more_overhead(self):
+        """Constant total work split finer must raise total time — the
+        fine-grained wall with no dependency structure at all."""
+        total = 50_000_000
+        coarse = run_task_ladder(
+            rc(), MicrobenchConfig(total_work_ns=total, num_tasks=20)
+        )
+        fine = run_task_ladder(
+            rc(), MicrobenchConfig(total_work_ns=total, num_tasks=2_000)
+        )
+        assert fine.execution_time_ns > coarse.execution_time_ns
+
+    def test_idle_rate_rises_with_fineness(self):
+        total = 50_000_000
+        coarse = run_task_ladder(
+            rc(), MicrobenchConfig(total_work_ns=total, num_tasks=40)
+        )
+        fine = run_task_ladder(
+            rc(), MicrobenchConfig(total_work_ns=total, num_tasks=4_000)
+        )
+        assert fine.idle_rate > coarse.idle_rate
+
+
+class TestForkJoin:
+    def test_depth_zero_single_leaf(self):
+        result = run_forkjoin_tree(rc(), depth=0, leaf_ns=1_000)
+        assert result.tasks_executed == 1
+
+    def test_task_count_is_full_tree(self):
+        result = run_forkjoin_tree(rc(), depth=4, leaf_ns=1_000)
+        # 2^4 leaves + (2^4 - 1) joins.
+        assert result.tasks_executed == 31
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            run_forkjoin_tree(rc(), depth=-1, leaf_ns=100)
+
+    def test_parallel_speedup(self):
+        t1 = run_forkjoin_tree(rc(cores=1), depth=6, leaf_ns=200_000)
+        t8 = run_forkjoin_tree(rc(cores=8), depth=6, leaf_ns=200_000)
+        assert t8.execution_time_ns < t1.execution_time_ns
+
+
+class TestSuspensionChain:
+    def test_all_consumers_complete(self):
+        result = run_suspension_chain(rc(), length=10, phase_ns=5_000)
+        # 10 producers + 10 consumers.
+        assert result.tasks_executed == 20
+
+    def test_phases_exceed_tasks(self):
+        """Each consumer runs two phases (suspend + resume), so phase count
+        must exceed the task count — the signal the paper's phase counters
+        were added to expose."""
+        result = run_suspension_chain(rc(), length=10, phase_ns=5_000)
+        assert result.phases > result.tasks_executed
+        assert result.phases == 30  # 10 producers x1 + 10 consumers x2
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            run_suspension_chain(rc(), length=0, phase_ns=100)

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import GranularityMetrics, MetricInputs
+from repro.counters.names import CounterName, parse_counter_name
+from repro.counters.registry import CounterRegistry
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.task import Task
+from repro.runtime.work import FixedWork
+from repro.sim.engine import Simulator
+from repro.util.stats import SampleStats, cov, mean, stddev
+
+# -- statistics ---------------------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50))
+def test_mean_bounded_by_extremes(xs):
+    m = mean(xs)
+    assert min(xs) - 1e-6 <= m <= max(xs) + 1e-6
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50))
+def test_stddev_nonnegative(xs):
+    assert stddev(xs) >= 0.0
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50), finite_floats)
+def test_mean_shift_equivariance(xs, shift):
+    shifted = [x + shift for x in xs]
+    assert math.isclose(
+        mean(shifted), mean(xs) + shift, rel_tol=1e-6, abs_tol=1e-3
+    )
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=50), finite_floats)
+def test_stddev_shift_invariance(xs, shift):
+    assert math.isclose(
+        stddev([x + shift for x in xs]), stddev(xs), rel_tol=1e-4, abs_tol=1e-2
+    )
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=30))
+def test_sample_stats_consistency(xs):
+    s = SampleStats.from_samples(xs)
+    # One ulp of slack: fsum-based means of identical values can exceed the
+    # max by the last bit.
+    slack = 1e-12 * max(abs(s.minimum), abs(s.maximum), 1.0)
+    assert s.minimum - slack <= s.mean <= s.maximum + slack
+    assert s.n == len(xs)
+    if s.mean:
+        assert math.isclose(s.cov, s.stddev / abs(s.mean), rel_tol=1e-9)
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=1, max_size=20))
+def test_mean_is_within_one_stddev_of_itself(xs):
+    s = SampleStats.from_samples(xs)
+    assert s.within_stddev(s.mean)
+
+
+# -- counter names ---------------------------------------------------------------------
+
+name_component = st.from_regex(r"[a-z][a-z0-9-]{0,10}", fullmatch=True)
+
+
+@given(
+    obj=name_component,
+    counter=st.lists(name_component, min_size=1, max_size=3).map("/".join),
+    instance_index=st.integers(min_value=0, max_value=999) | st.none(),
+)
+def test_counter_name_canonical_round_trip(obj, counter, instance_index):
+    name = CounterName(
+        object_name=obj,
+        counter_path=counter,
+        instance="worker-thread" if instance_index is not None else "total",
+        instance_index=instance_index,
+    )
+    assert parse_counter_name(name.canonical()) == name
+
+
+@given(st.integers(min_value=0, max_value=50))
+def test_registry_wildcard_query_finds_all_instances(n):
+    reg = CounterRegistry()
+    for i in range(n):
+        reg.raw(f"/threads{{locality#0/worker-thread#{i}}}/count/cumulative")
+    found = list(
+        reg.query("/threads{locality#0/worker-thread#*}/count/cumulative")
+    )
+    assert len(found) == n
+
+
+# -- engine ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100))
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired: list[int] = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1_000), min_size=2, max_size=40),
+    st.data(),
+)
+def test_engine_cancellation_preserves_other_events(delays, data):
+    sim = Simulator()
+    fired: list[int] = []
+    events = [
+        sim.schedule(d, lambda i=i: fired.append(i)) for i, d in enumerate(delays)
+    ]
+    victim = data.draw(st.integers(min_value=0, max_value=len(events) - 1))
+    events[victim].cancel()
+    sim.run()
+    assert victim not in fired
+    assert len(fired) == len(delays) - 1
+
+
+# -- metric identities -------------------------------------------------------------------
+
+
+@given(
+    exec_ns=st.floats(min_value=0, max_value=1e12),
+    overhead_ns=st.floats(min_value=0, max_value=1e12),
+    nt=st.integers(min_value=1, max_value=10_000_000),
+    nc=st.integers(min_value=1, max_value=256),
+)
+def test_metric_identities(exec_ns, overhead_ns, nt, nc):
+    func_ns = exec_ns + overhead_ns
+    m = GranularityMetrics.compute(
+        MetricInputs(
+            execution_time_ns=func_ns / nc if nc else 0.0,
+            cumulative_exec_ns=exec_ns,
+            cumulative_func_ns=func_ns,
+            tasks_executed=nt,
+            num_cores=nc,
+        )
+    )
+    assert 0.0 <= m.idle_rate <= 1.0
+    # Eq. 2 + Eq. 3 recombine to the totals.  The (func - exec) subtraction
+    # cancels catastrophically when overhead_ns << exec_ns, so the absolute
+    # tolerance scales with the magnitudes involved.
+    cancel = 1e-9 * max(1.0, exec_ns + overhead_ns)
+    assert math.isclose(
+        m.task_duration_ns * nt, exec_ns, rel_tol=1e-9, abs_tol=cancel
+    )
+    assert math.isclose(
+        m.task_overhead_ns * nt, overhead_ns, rel_tol=1e-9, abs_tol=cancel
+    )
+    # Eq. 4 is Eq. 3 rescaled.
+    assert math.isclose(
+        m.thread_management_per_core_ns * nc,
+        overhead_ns,
+        rel_tol=1e-9,
+        abs_tol=cancel,
+    )
+
+
+@given(
+    td1=st.floats(min_value=1.0, max_value=1e9),
+    td=st.floats(min_value=1.0, max_value=1e9),
+)
+def test_wait_time_sign_follows_duration_difference(td1, td):
+    m = GranularityMetrics.compute(
+        MetricInputs(
+            execution_time_ns=1e9,
+            cumulative_exec_ns=td * 10,
+            cumulative_func_ns=td * 10 + 1.0,
+            tasks_executed=10,
+            num_cores=2,
+            task_duration_1core_ns=td1,
+        )
+    )
+    assert m.wait_time_per_task_ns is not None
+    if td > td1:
+        assert m.wait_time_per_task_ns > 0
+    elif td < td1:
+        assert m.wait_time_per_task_ns < 0
+
+
+# -- executor conservation laws ------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_tasks=st.integers(min_value=1, max_value=60),
+    cores=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_executor_conservation(n_tasks, cores, seed):
+    """No task is lost or duplicated, regardless of population and topology;
+    time accounting balances exactly."""
+    rt = Runtime(RuntimeConfig(platform="haswell", num_cores=cores, seed=seed))
+    tasks = [Task(lambda: None, work=FixedWork(1_000)) for _ in range(n_tasks)]
+    for i, t in enumerate(tasks):
+        rt.spawn(t, worker=i % cores)
+    result = rt.run()
+    assert result.tasks_executed == n_tasks
+    assert result.counters.get("/threads/count/cumulative") == n_tasks
+    assert sum(w.tasks_executed for w in rt.executor.workers) == n_tasks
+    # Conservation: per-worker exec sums to the cumulative counter.
+    assert sum(w.exec_ns for w in rt.executor.workers) == int(
+        result.cumulative_exec_ns
+    )
+    # Func time (workers x makespan) bounds exec time.
+    assert result.cumulative_func_ns >= result.cumulative_exec_ns
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    total=st.integers(min_value=256, max_value=4096),
+    partition=st.integers(min_value=16, max_value=512),
+    steps=st.integers(min_value=1, max_value=4),
+    cores=st.integers(min_value=1, max_value=6),
+)
+def test_stencil_task_count_invariant(total, partition, steps, cores):
+    """ceil(total/partition) * steps tasks execute, for any geometry."""
+    from repro.apps.stencil1d import StencilConfig, run_stencil
+
+    partition = min(partition, total)
+    cfg = StencilConfig(
+        total_points=total, partition_points=partition, time_steps=steps
+    )
+    out = run_stencil(RuntimeConfig(num_cores=cores, seed=1), cfg)
+    assert out.result.tasks_executed == cfg.total_tasks
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    total=st.integers(min_value=64, max_value=512),
+    steps=st.integers(min_value=1, max_value=6),
+)
+def test_stencil_numerics_property(total, steps):
+    """The futurized run equals the serial reference for arbitrary sizes."""
+    import numpy as np
+
+    from repro.apps.stencil1d import (
+        StencilConfig,
+        initial_condition,
+        run_stencil,
+        serial_reference,
+    )
+
+    partition = max(1, total // 7)
+    cfg = StencilConfig(
+        total_points=total,
+        partition_points=partition,
+        time_steps=steps,
+        validate=True,
+    )
+    out = run_stencil(RuntimeConfig(num_cores=3, seed=0), cfg)
+    ref = serial_reference(initial_condition(total), steps, 0.25)
+    np.testing.assert_allclose(out.final_array(), ref, rtol=1e-10)

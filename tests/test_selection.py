@@ -1,0 +1,135 @@
+"""Unit tests for the grain-size selection rules on synthetic reports."""
+
+import pytest
+
+from repro.core.characterize import CharacterizationReport, GrainPoint
+from repro.core.metrics import GranularityMetrics, MetricInputs
+from repro.core.selection import (
+    select_by_idle_rate,
+    select_by_min_time,
+    select_by_pending_accesses,
+)
+from repro.util.stats import SampleStats
+
+
+def make_point(
+    grain: int,
+    time_s: float,
+    idle: float,
+    accesses: float,
+    stddev: float = 0.0,
+) -> GrainPoint:
+    """A synthetic grain point with controlled headline values."""
+    samples = [time_s - stddev, time_s + stddev] if stddev else [time_s]
+    metrics = GranularityMetrics.compute(
+        MetricInputs(
+            execution_time_ns=time_s * 1e9,
+            cumulative_exec_ns=(1 - idle) * 4 * time_s * 1e9,
+            cumulative_func_ns=4 * time_s * 1e9,
+            tasks_executed=max(1, 1_000_000 // grain),
+            num_cores=4,
+            pending_accesses=accesses,
+        )
+    )
+    return GrainPoint(
+        grain=grain,
+        num_cores=4,
+        repetitions=len(samples),
+        execution_time_s=SampleStats.from_samples(samples),
+        idle_rate=SampleStats.from_samples([idle]),
+        pending_accesses=SampleStats.from_samples([accesses]),
+        pending_misses=SampleStats.from_samples([accesses / 10]),
+        task_duration_ns=SampleStats.from_samples([float(grain)]),
+        tasks_executed=max(1, 1_000_000 // grain),
+        metrics=metrics,
+        task_duration_1core_ns=None,
+    )
+
+
+@pytest.fixture
+def report() -> CharacterizationReport:
+    """A textbook U-shape: best time at grain 10_000."""
+    rep = CharacterizationReport("haswell", 4, "priority-local")
+    rep.points = [
+        make_point(100, 4.00, 0.90, 9_000_000, stddev=0.05),
+        make_point(1_000, 2.00, 0.55, 900_000, stddev=0.04),
+        # note: two samples [t-d, t+d] have sample stddev d*sqrt(2), so
+        # d=0.04 puts 1.75 within one stddev of this point's 1.70 mean.
+        make_point(10_000, 1.70, 0.28, 200_000, stddev=0.04),
+        make_point(100_000, 1.75, 0.22, 150_000, stddev=0.03),
+        make_point(1_000_000, 3.00, 0.70, 400_000, stddev=0.05),
+    ]
+    return rep
+
+
+class TestMinTimeOracle:
+    def test_picks_global_minimum(self, report):
+        out = select_by_min_time(report)
+        assert out.grain == 10_000
+        assert out.slowdown == 1.0
+        assert out.within_one_stddev
+
+    def test_empty_report_raises(self):
+        with pytest.raises(ValueError):
+            select_by_min_time(CharacterizationReport("hw", 4, "pl"))
+
+
+class TestIdleRateRule:
+    def test_smallest_grain_under_threshold(self, report):
+        out = select_by_idle_rate(report, threshold=0.30)
+        assert out.grain == 10_000
+        assert out.slowdown == 1.0
+
+    def test_tighter_threshold_picks_coarser_grain(self, report):
+        out = select_by_idle_rate(report, threshold=0.25)
+        assert out.grain == 100_000
+        # 1.75 vs 1.70 with stddev 0.03: the paper's "within one stddev".
+        assert out.slowdown == pytest.approx(1.75 / 1.70)
+        assert out.within_one_stddev
+
+    def test_no_point_meets_threshold_falls_back(self, report):
+        out = select_by_idle_rate(report, threshold=0.05)
+        assert out.grain == 100_000  # lowest idle-rate overall
+
+    def test_threshold_validation(self, report):
+        with pytest.raises(ValueError):
+            select_by_idle_rate(report, threshold=0.0)
+        with pytest.raises(ValueError):
+            select_by_idle_rate(report, threshold=1.0)
+
+    def test_rule_name_mentions_threshold(self, report):
+        assert "30%" in select_by_idle_rate(report, threshold=0.30).rule
+
+
+class TestPendingAccessRule:
+    def test_picks_minimum_accesses(self, report):
+        out = select_by_pending_accesses(report)
+        assert out.grain == 100_000
+        assert out.within_one_stddev
+
+    def test_paper_claim_structure(self, report):
+        """Sec. IV-E: the queue rule lands within 13% of the minimum."""
+        out = select_by_pending_accesses(report)
+        assert out.slowdown <= 1.13
+
+    def test_tie_broken_by_smaller_grain(self, report):
+        report.points.append(make_point(500_000, 2.5, 0.5, 150_000))
+        out = select_by_pending_accesses(report)
+        assert out.grain == 100_000
+
+    def test_empty_report_raises(self):
+        with pytest.raises(ValueError):
+            select_by_pending_accesses(CharacterizationReport("hw", 4, "pl"))
+
+
+class TestOutcome:
+    def test_summary_renders(self, report):
+        text = select_by_min_time(report).summary()
+        assert "grain=10000" in text
+        assert "x1.000" in text
+
+    def test_slowdown_infinite_for_zero_best(self):
+        rep = CharacterizationReport("hw", 4, "pl")
+        rep.points = [make_point(10, 0.0, 0.5, 10.0)]
+        out = select_by_min_time(rep)
+        assert out.slowdown == float("inf")

@@ -1,0 +1,208 @@
+"""Shape-check functions of each figure module, exercised on synthetic
+FigureResults (no simulation — these pin the *checking* logic itself)."""
+
+from repro.experiments import (
+    fig3_execution_time,
+    fig4_idle_rate_haswell,
+    fig6_wait_time,
+    fig9_pending_queue_haswell,
+)
+from repro.experiments.decomposition_common import decomposition_shape_checks
+from repro.experiments.report import FigureResult, Series
+
+
+def fig_of(figure_id, panels, logx=True):
+    fig = FigureResult(
+        figure_id=figure_id, title="synthetic", xlabel="x", ylabel="y",
+        logx=logx,
+    )
+    for panel, series in panels.items():
+        for label, points in series.items():
+            fig.add_series(panel, Series(label, points))
+    return fig
+
+
+GRAINS = [1e2, 1e3, 1e4, 1e5, 1e6]
+
+
+class TestFig3Checks:
+    def good_panel(self):
+        return {
+            "1 cores": {"1 cores": None},
+        }
+
+    def test_accepts_u_shapes(self):
+        fig = fig_of("fig3", {
+            "(c) Haswell": {
+                "8 cores": list(zip(GRAINS, [5.0, 2.0, 1.8, 2.5, 6.0])),
+                "1 cores": list(zip(GRAINS, [9.0, 6.6, 6.5, 6.5, 6.6])),
+            },
+        })
+        assert fig3_execution_time.shape_checks(fig) == []
+
+    def test_rejects_flat_multicore_series(self):
+        fig = fig_of("fig3", {
+            "(c) Haswell": {
+                "8 cores": list(zip(GRAINS, [2.0, 2.0, 2.0, 2.0, 2.0])),
+            },
+        })
+        assert fig3_execution_time.shape_checks(fig)
+
+    def test_rejects_unsaturated_scaling(self):
+        # Best times keep halving with cores: the paper's curves saturate.
+        fig = fig_of("fig3", {
+            "(c) Haswell": {
+                "4 cores": list(zip(GRAINS, [16.0, 8.0, 7.9, 9.0, 20.0])),
+                "8 cores": list(zip(GRAINS, [8.0, 4.0, 3.9, 4.5, 10.0])),
+                "16 cores": list(zip(GRAINS, [4.0, 2.0, 1.0, 2.2, 5.0])),
+            },
+        })
+        problems = fig3_execution_time.shape_checks(fig)
+        assert any("saturate" in p for p in problems)
+
+
+class TestFig4Checks:
+    def panel(self, idle, time):
+        return {
+            "execution time (s)": list(zip(GRAINS, time)),
+            "idle-rate": list(zip(GRAINS, idle)),
+        }
+
+    def test_accepts_paper_shape(self):
+        fig = fig_of("fig4", {
+            "haswell 8 cores": self.panel(
+                idle=[0.9, 0.4, 0.1, 0.3, 0.8],
+                time=[5.0, 2.2, 1.9, 1.8, 6.0],  # falls while idle rises
+            ),
+        })
+        assert fig4_idle_rate_haswell.shape_checks(fig) == []
+
+    def test_rejects_low_fine_end(self):
+        fig = fig_of("fig4", {
+            "haswell 8 cores": self.panel(
+                idle=[0.3, 0.2, 0.1, 0.3, 0.8],
+                time=[5.0, 2.2, 1.9, 1.8, 6.0],
+            ),
+        })
+        problems = fig4_idle_rate_haswell.shape_checks(fig)
+        assert any("fine-end idle-rate" in p for p in problems)
+
+    def test_rejects_missing_decoupled_region(self):
+        fig = fig_of("fig4", {
+            "haswell 8 cores": self.panel(
+                idle=[0.9, 0.4, 0.1, 0.3, 0.8],
+                time=[5.0, 2.2, 1.9, 2.0, 6.0],  # time rises with idle
+            ),
+        })
+        problems = fig4_idle_rate_haswell.shape_checks(fig)
+        assert any("idle-rate rises while execution" in p for p in problems)
+
+
+class TestFig6Checks:
+    def test_accepts_double_monotonicity(self):
+        xs = [1e4, 3e4, 5e4]
+        fig = fig_of("fig6", {
+            "panel": {
+                "4 cores": list(zip(xs, [10.0, 20.0, 30.0])),
+                "8 cores": list(zip(xs, [30.0, 60.0, 90.0])),
+            },
+        }, logx=False)
+        assert fig6_wait_time.shape_checks(fig) == []
+
+    def test_rejects_decreasing_in_grain(self):
+        xs = [1e4, 3e4, 5e4]
+        fig = fig_of("fig6", {
+            "panel": {"4 cores": list(zip(xs, [30.0, 20.0, 10.0]))},
+        }, logx=False)
+        assert fig6_wait_time.shape_checks(fig)
+
+    def test_rejects_core_order_inversion(self):
+        xs = [1e4, 3e4, 5e4]
+        fig = fig_of("fig6", {
+            "panel": {
+                "4 cores": list(zip(xs, [30.0, 60.0, 90.0])),
+                "8 cores": list(zip(xs, [10.0, 20.0, 30.0])),
+            },
+        }, logx=False)
+        problems = fig6_wait_time.shape_checks(fig)
+        assert any("below" in p for p in problems)
+
+
+class TestFig7Checks:
+    def panel(self, exec_t, tm, wt):
+        combined = [a + b for a, b in zip(tm, wt)]
+        return {
+            "Exec Time": list(zip(GRAINS, exec_t)),
+            "HPX-TM": list(zip(GRAINS, tm)),
+            "WT": list(zip(GRAINS, wt)),
+            "HPX-TM & WT": list(zip(GRAINS, combined)),
+        }
+
+    def test_accepts_paper_shape(self):
+        fig = fig_of("fig7", {
+            "haswell 8 cores": self.panel(
+                exec_t=[5.0, 2.0, 1.8, 2.5, 6.0],
+                tm=[4.5, 0.3, 0.2, 0.9, 5.5],
+                wt=[0.2, 1.5, 1.4, 1.2, -0.5],
+            ),
+        })
+        assert decomposition_shape_checks(fig) == []
+
+    def test_rejects_positive_wait_tail(self):
+        fig = fig_of("fig7", {
+            "haswell 8 cores": self.panel(
+                exec_t=[5.0, 2.0, 1.8, 2.5, 6.0],
+                tm=[4.5, 0.3, 0.2, 0.9, 5.5],
+                wt=[0.2, 1.5, 1.4, 1.2, 0.4],
+            ),
+        })
+        problems = decomposition_shape_checks(fig)
+        assert any("not negative" in p for p in problems)
+
+    def test_rejects_combined_cost_above_exec(self):
+        fig = fig_of("fig7", {
+            "haswell 8 cores": self.panel(
+                exec_t=[5.0, 2.0, 1.8, 2.5, 6.0],
+                tm=[4.5, 2.3, 2.2, 2.9, 5.5],  # TM alone exceeds exec mid-curve
+                wt=[0.2, 1.5, 1.4, 1.2, -0.5],
+            ),
+        })
+        problems = decomposition_shape_checks(fig)
+        assert any("exceeds execution time" in p for p in problems)
+
+
+class TestFig9Checks:
+    def test_accepts_u_shaped_accesses(self):
+        fig = fig_of("fig9", {
+            "haswell 8 cores": {
+                "execution time (s)": list(zip(GRAINS, [5.0, 2.0, 1.8, 2.5, 6.0])),
+                "pending-Q accesses": list(
+                    zip(GRAINS, [9e6, 8e5, 2e5, 9e5, 4e6])
+                ),
+            },
+        })
+        assert fig9_pending_queue_haswell.shape_checks(fig) == []
+
+    def test_rejects_monotone_accesses(self):
+        fig = fig_of("fig9", {
+            "haswell 8 cores": {
+                "execution time (s)": list(zip(GRAINS, [5.0, 2.0, 1.8, 2.5, 6.0])),
+                "pending-Q accesses": list(
+                    zip(GRAINS, [9e6, 8e5, 2e5, 1e5, 5e4])
+                ),
+            },
+        })
+        assert fig9_pending_queue_haswell.shape_checks(fig)
+
+    def test_rejects_misleading_minimum(self):
+        # Minimum accesses at a grain whose time is 2x the best.
+        fig = fig_of("fig9", {
+            "haswell 8 cores": {
+                "execution time (s)": list(zip(GRAINS, [5.0, 2.0, 1.8, 4.0, 6.0])),
+                "pending-Q accesses": list(
+                    zip(GRAINS, [9e6, 8e5, 5e5, 2e5, 4e6])
+                ),
+            },
+        })
+        problems = fig9_pending_queue_haswell.shape_checks(fig)
+        assert any("slower than the best" in p for p in problems)

@@ -1,0 +1,278 @@
+"""Unit tests for the simulated executor: execution, accounting, counters,
+suspension, stealing, termination, and determinism."""
+
+import pytest
+
+from repro.counters.registry import CounterRegistry
+from repro.runtime.future import Future
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.sim_executor import DeadlockError, SimExecutor
+from repro.runtime.task import Priority, Task, TaskState
+from repro.runtime.work import FixedWork, NoWork, StencilWork
+from repro.schedulers.priority_local import PriorityLocalScheduler
+from repro.sim.costmodel import CostModel
+from repro.sim.machine import Machine
+from repro.sim.platforms import HASWELL
+
+
+def make_executor(cores=2, seed=0):
+    machine = Machine(HASWELL, cores)
+    return SimExecutor(
+        machine,
+        PriorityLocalScheduler(),
+        CostModel(HASWELL, cores, seed=seed),
+        CounterRegistry(),
+    )
+
+
+class TestBasicExecution:
+    def test_single_task_runs_and_terminates(self):
+        ex = make_executor()
+        done = []
+        t = Task(lambda: done.append(1), work=FixedWork(1_000))
+        ex.spawn(t)
+        finish = ex.run()
+        assert done == [1]
+        assert t.state is TaskState.TERMINATED
+        assert finish > 1_000  # work plus management
+
+    def test_empty_run_finishes_at_zero(self):
+        ex = make_executor()
+        assert ex.run() == 0
+
+    def test_many_tasks_all_execute_exactly_once(self):
+        ex = make_executor(cores=4)
+        count = [0]
+        tasks = [
+            Task(lambda: count.__setitem__(0, count[0] + 1), work=FixedWork(100))
+            for _ in range(500)
+        ]
+        for t in tasks:
+            ex.spawn(t)
+        ex.run()
+        assert count[0] == 500
+        assert all(t.state is TaskState.TERMINATED for t in tasks)
+        assert ex.outstanding_tasks == 0
+
+    def test_task_spawned_during_run(self):
+        ex = make_executor()
+        order = []
+
+        def parent():
+            order.append("parent")
+            ex.spawn(Task(lambda: order.append("child"), work=FixedWork(10)))
+
+        ex.spawn(Task(parent, work=FixedWork(10)))
+        ex.run()
+        assert order == ["parent", "child"]
+
+    def test_parallelism_shortens_makespan(self):
+        def run_with(cores):
+            ex = make_executor(cores=cores)
+            for _ in range(64):
+                ex.spawn(Task(lambda: None, work=FixedWork(100_000)))
+            return ex.run()
+
+        assert run_with(8) < run_with(1) / 4
+
+    def test_fn_none_task_is_noop(self):
+        ex = make_executor()
+        t = Task(None, work=NoWork())
+        ex.spawn(t)
+        ex.run()
+        assert t.state is TaskState.TERMINATED
+
+
+class TestAccounting:
+    def test_exec_and_overhead_recorded(self):
+        ex = make_executor(cores=1)
+        t = Task(lambda: None, work=FixedWork(5_000))
+        ex.spawn(t)
+        ex.run()
+        assert t.exec_ns > 0
+        assert t.overhead_ns > 0
+        assert t.phases == 1
+
+    def test_counters_after_run(self):
+        ex = make_executor(cores=2)
+        for _ in range(10):
+            ex.spawn(Task(lambda: None, work=FixedWork(1_000)))
+        finish = ex.run()
+        reg = ex.registry
+        assert reg.get("/threads/count/cumulative").get_value() == 10
+        assert reg.get("/threads/count/cumulative-phases").get_value() == 10
+        exec_total = reg.get("/threads/time/cumulative").get_value()
+        func_total = reg.get("/threads/time/cumulative-func").get_value()
+        assert 0 < exec_total <= func_total
+        assert func_total == pytest.approx(2 * finish)
+
+    def test_idle_rate_between_zero_and_one(self):
+        ex = make_executor(cores=2)
+        for _ in range(10):
+            ex.spawn(Task(lambda: None, work=FixedWork(1_000)))
+        ex.run()
+        idle = ex.registry.get("/threads/idle-rate").get_value()
+        assert 0.0 <= idle <= 1.0
+
+    def test_average_counters_match_totals(self):
+        ex = make_executor(cores=1)
+        tasks = [Task(lambda: None, work=FixedWork(2_000)) for _ in range(7)]
+        for t in tasks:
+            ex.spawn(t)
+        ex.run()
+        avg = ex.registry.get("/threads/time/average").get_value()
+        expected = sum(t.exec_ns for t in tasks) / 7
+        assert avg == pytest.approx(expected)
+
+    def test_worker_accounting_conserved(self):
+        ex = make_executor(cores=3)
+        tasks = [Task(lambda: None, work=FixedWork(1_500)) for _ in range(30)]
+        for t in tasks:
+            ex.spawn(t)
+        ex.run()
+        assert sum(w.tasks_executed for w in ex.workers) == 30
+        assert sum(w.exec_ns for w in ex.workers) == sum(t.exec_ns for t in tasks)
+
+    def test_per_worker_counters_registered(self):
+        ex = make_executor(cores=2)
+        found = list(
+            ex.registry.query(
+                "/threads{locality#0/worker-thread#*}/count/cumulative"
+            )
+        )
+        assert len(found) == 2
+
+
+class TestQueueCounters:
+    def test_pending_accesses_counted(self):
+        ex = make_executor(cores=2)
+        for _ in range(5):
+            ex.spawn(Task(lambda: None, work=FixedWork(500)))
+        ex.run()
+        accesses = ex.registry.get("/threads/count/pending-accesses").get_value()
+        misses = ex.registry.get("/threads/count/pending-misses").get_value()
+        assert accesses > 0
+        assert 0 <= misses <= accesses
+
+    def test_steal_counter(self):
+        # All work staged on worker 0; worker 1 must steal some of it.
+        ex = make_executor(cores=2)
+        for _ in range(50):
+            ex.spawn(Task(lambda: None, work=FixedWork(100_000)), worker=0)
+        ex.run()
+        assert ex.registry.get("/threads/count/stolen").get_value() > 0
+
+
+class TestPriorities:
+    def test_high_priority_runs_before_backlog(self):
+        ex = make_executor(cores=1)
+        order = []
+        for i in range(5):
+            ex.spawn(Task(lambda i=i: order.append(f"n{i}"), work=FixedWork(100)))
+        ex.spawn(
+            Task(lambda: order.append("hi"), work=FixedWork(100),
+                 priority=Priority.HIGH)
+        )
+        ex.run()
+        # The high-priority task overtakes the queued normal backlog.
+        assert order.index("hi") < 4
+
+    def test_low_priority_runs_last(self):
+        ex = make_executor(cores=1)
+        order = []
+        ex.spawn(
+            Task(lambda: order.append("lo"), work=FixedWork(100),
+                 priority=Priority.LOW)
+        )
+        for i in range(3):
+            ex.spawn(Task(lambda i=i: order.append(i), work=FixedWork(100)))
+        ex.run()
+        assert order[-1] == "lo"
+
+
+class TestSuspension:
+    def test_generator_task_suspends_and_resumes(self):
+        ex = make_executor(cores=1)
+        gate = Future("gate")
+        history = []
+
+        def suspender():
+            history.append("phase1")
+            yield gate
+            history.append("phase2")
+
+        t = Task(suspender, work=FixedWork(1_000))
+        ex.spawn(t)
+        opener = Task(lambda: gate.set_value("open"), work=FixedWork(50_000))
+        ex.spawn(opener)
+        ex.run()
+        assert history == ["phase1", "phase2"]
+        assert t.phases == 2
+        assert t.state is TaskState.TERMINATED
+
+    def test_phase_counters_reflect_suspension(self):
+        ex = make_executor(cores=1)
+        gate = Future()
+
+        def suspender():
+            yield gate
+
+        ex.spawn(Task(suspender, work=FixedWork(100)))
+        ex.spawn(Task(lambda: gate.set_value(1), work=FixedWork(10_000)))
+        ex.run()
+        phases = ex.registry.get("/threads/count/cumulative-phases").get_value()
+        assert phases == 3  # 2 for the suspender, 1 for the opener
+
+    def test_yield_on_ready_future_resumes(self):
+        ex = make_executor(cores=1)
+        ready = Future()
+        ready.set_value(7)
+        seen = []
+
+        def body():
+            yield ready
+            seen.append(ready.value)
+
+        ex.spawn(Task(body, work=FixedWork(100)))
+        ex.run()
+        assert seen == [7]
+
+    def test_yielding_non_future_raises(self):
+        ex = make_executor(cores=1)
+
+        def bad():
+            yield 42
+
+        ex.spawn(Task(bad, work=FixedWork(100)))
+        with pytest.raises(TypeError, match="must yield Future"):
+            ex.run()
+
+    def test_deadlock_detection(self):
+        ex = make_executor(cores=1)
+        never = Future("never")
+
+        def stuck():
+            yield never
+
+        ex.spawn(Task(stuck, work=FixedWork(100)))
+        with pytest.raises(DeadlockError, match="outstanding"):
+            ex.run()
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        rt = Runtime(RuntimeConfig(platform="haswell", num_cores=4, seed=seed))
+        for i in range(100):
+            rt.async_(lambda: None, work=StencilWork(points=1_000 + i))
+        result = rt.run()
+        return (
+            result.execution_time_ns,
+            result.pending_accesses,
+            result.cumulative_exec_ns,
+        )
+
+    def test_same_seed_same_everything(self):
+        assert self._run(11) == self._run(11)
+
+    def test_different_seed_different_timing(self):
+        assert self._run(11) != self._run(12)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util.stats — the paper's mean/stddev/COV machinery."""
+
+import math
+
+import pytest
+
+from repro.util.stats import SampleStats, cov, describe, mean, stddev
+
+
+class TestMean:
+    def test_single(self):
+        assert mean([4.0]) == 4.0
+
+    def test_uniform(self):
+        assert mean([2.0, 2.0, 2.0]) == 2.0
+
+    def test_mixed(self):
+        assert mean([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStddev:
+    def test_single_sample_is_zero(self):
+        assert stddev([7.0]) == 0.0
+
+    def test_known_value(self):
+        # Sample stddev (ddof=1) of 2,4,4,4,5,5,7,9 is ~2.138.
+        samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert stddev(samples) == pytest.approx(2.13809, abs=1e-4)
+
+    def test_constant_series(self):
+        assert stddev([3.0] * 10) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stddev([])
+
+
+class TestCov:
+    def test_constant_series(self):
+        assert cov([5.0, 5.0, 5.0]) == 0.0
+
+    def test_zero_mean(self):
+        # Event counts that never fire: COV defined as 0.
+        assert cov([0.0, 0.0]) == 0.0
+
+    def test_known_value(self):
+        samples = [9.0, 10.0, 11.0]
+        assert cov(samples) == pytest.approx(1.0 / 10.0, rel=1e-9)
+
+    def test_negative_mean_uses_absolute(self):
+        assert cov([-9.0, -10.0, -11.0]) == pytest.approx(0.1, rel=1e-9)
+
+
+class TestSampleStats:
+    def test_from_samples_fields(self):
+        stats = SampleStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.n == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.stddev == pytest.approx(1.0)
+        assert stats.cov == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SampleStats.from_samples([])
+
+    def test_within_stddev_true(self):
+        stats = SampleStats.from_samples([1.70, 1.72, 1.74])
+        # The paper's criterion: 1.75 s vs min 1.71 s within stddev 0.03.
+        assert stats.within_stddev(stats.mean + stats.stddev * 0.99)
+
+    def test_within_stddev_false(self):
+        stats = SampleStats.from_samples([1.70, 1.72, 1.74])
+        assert not stats.within_stddev(stats.mean + stats.stddev * 1.5)
+
+    def test_within_stddev_symmetric(self):
+        stats = SampleStats.from_samples([10.0, 12.0])
+        assert stats.within_stddev(stats.mean - stats.stddev / 2)
+
+    def test_describe_is_alias(self):
+        assert describe([1.0, 2.0]) == SampleStats.from_samples([1.0, 2.0])
+
+    def test_stats_are_finite(self):
+        stats = describe([1e-12, 1e12])
+        assert math.isfinite(stats.cov)
+        assert math.isfinite(stats.stddev)

@@ -1,0 +1,83 @@
+"""Unit tests for the table formatter and ASCII plotter."""
+
+import pytest
+
+from repro.util.asciiplot import plot_series
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[2].split() == ["1", "2"]
+        assert lines[3].split() == ["33", "44"]
+
+    def test_title_first_line(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[0.123456]])
+        assert "0.1235" in out
+
+    def test_scientific_for_extremes(self):
+        out = format_table(["v"], [[123456.0], [0.000001]])
+        assert "1.235e+05" in out
+        assert "1.000e-06" in out
+
+    def test_zero_renders_as_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_wide_cells_expand_column(self):
+        out = format_table(["x"], [["abcdefghij"]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(row) == len(sep)
+
+
+class TestPlotSeries:
+    def test_empty(self):
+        assert plot_series({}) == "(no data)"
+
+    def test_contains_markers_and_legend(self):
+        out = plot_series({"s1": [(1, 1), (10, 2)], "s2": [(1, 2), (10, 1)]})
+        assert "o=s1" in out
+        assert "x=s2" in out
+        grid = "".join(l for l in out.splitlines() if l.startswith("|"))
+        assert "o" in grid and "x" in grid
+
+    def test_title_and_labels(self):
+        out = plot_series(
+            {"s": [(1, 1), (2, 2)]},
+            title="T", xlabel="grain", ylabel="seconds",
+        )
+        assert out.splitlines()[0] == "T"
+        assert "seconds" in out
+        assert "grain" in out
+
+    def test_logx_annotation(self):
+        out = plot_series({"s": [(10, 1), (1000, 2)]}, logx=True)
+        assert "log10" in out
+
+    def test_linear_axis(self):
+        out = plot_series({"s": [(0, 1), (5, 2)]}, logx=False)
+        assert "log10" not in out
+
+    def test_flat_series_does_not_crash(self):
+        out = plot_series({"s": [(1, 5), (2, 5), (3, 5)]})
+        assert "(no data)" not in out
+
+    def test_single_point(self):
+        out = plot_series({"s": [(1, 1)]})
+        assert "o" in out
+
+    def test_grid_dimensions(self):
+        out = plot_series({"s": [(1, 1), (100, 10)]}, width=40, height=5)
+        grid_lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(grid_lines) == 5
+        assert all(len(l) <= 41 for l in grid_lines)

@@ -1,0 +1,131 @@
+"""Unit tests for the real-thread executor (API parity, no timing claims)."""
+
+import threading
+
+import pytest
+
+from repro.runtime.future import Future
+from repro.runtime.task import Task
+from repro.runtime.thread_executor import ThreadRuntime, host_platform
+
+
+class TestHostPlatform:
+    def test_topology_fields(self):
+        spec = host_platform(4)
+        assert spec.cores == 4
+        assert spec.numa_domains == 1
+
+    def test_multi_domain(self):
+        spec = host_platform(8, numa_domains=2)
+        assert spec.numa_domains == 2
+
+
+class TestLifecycle:
+    def test_context_manager_starts_and_stops(self):
+        with ThreadRuntime(num_workers=2) as rt:
+            f = rt.async_(lambda: 1)
+            assert rt.wait(f, timeout_s=5) == 1
+        assert rt._threads == []
+
+    def test_double_start_rejected(self):
+        rt = ThreadRuntime(num_workers=1).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                rt.start()
+        finally:
+            rt.shutdown()
+
+    def test_spawn_after_shutdown_rejected(self):
+        rt = ThreadRuntime(num_workers=1).start()
+        rt.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            rt.async_(lambda: 1)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadRuntime(num_workers=0)
+
+
+class TestExecution:
+    def test_many_tasks_all_complete(self):
+        with ThreadRuntime(num_workers=4) as rt:
+            futures = [rt.async_(lambda i=i: i * i) for i in range(200)]
+            rt.wait_idle(timeout_s=30)
+            assert [f.value for f in futures] == [i * i for i in range(200)]
+
+    def test_tasks_actually_run_concurrently_across_threads(self):
+        seen_threads = set()
+        barrier = threading.Barrier(2, timeout=10)
+
+        def body():
+            seen_threads.add(threading.current_thread().name)
+            barrier.wait()
+
+        with ThreadRuntime(num_workers=2) as rt:
+            rt.async_(body)
+            rt.async_(body)
+            rt.wait_idle(timeout_s=30)
+        assert len(seen_threads) == 2
+
+    def test_dataflow(self):
+        with ThreadRuntime(num_workers=2) as rt:
+            a = rt.async_(lambda: 6)
+            b = rt.async_(lambda: 7)
+            c = rt.dataflow(lambda x, y: x * y, [a, b])
+            assert rt.wait(c, timeout_s=10) == 42
+
+    def test_dataflow_chain(self):
+        with ThreadRuntime(num_workers=3) as rt:
+            f = rt.async_(lambda: 1)
+            for _ in range(10):
+                f = rt.dataflow(lambda x: x + 1, [f])
+            assert rt.wait(f, timeout_s=10) == 11
+
+    def test_exception_propagates_to_future(self):
+        def boom():
+            raise ValueError("thread task failed")
+
+        with ThreadRuntime(num_workers=1) as rt:
+            f = rt.async_(boom)
+            rt.wait_idle(timeout_s=10)
+            assert f.has_exception
+
+    def test_dataflow_dependency_failure(self):
+        with ThreadRuntime(num_workers=2) as rt:
+            bad = rt.async_(lambda: 1 / 0)
+            dependent = rt.dataflow(lambda x: x, [bad])
+            rt.wait_idle(timeout_s=10)
+            assert dependent.has_exception
+
+    def test_generator_tasks_rejected_without_killing_worker(self):
+        def gen():
+            yield Future()
+
+        with ThreadRuntime(num_workers=1) as rt:
+            t = Task(gen)
+            rt.spawn(t)
+            rt.wait_idle(timeout_s=10)
+            assert isinstance(t.result, NotImplementedError)
+            assert rt.registry.get("/threads/count/errors").get_value() == 1
+            # The (single) worker survived and keeps serving tasks.
+            f = rt.async_(lambda: "alive")
+            assert rt.wait(f, timeout_s=10) == "alive"
+
+    def test_wait_timeout(self):
+        with ThreadRuntime(num_workers=1) as rt:
+            never = Future("never")
+            with pytest.raises(TimeoutError):
+                rt.wait(never, timeout_s=0.05)
+
+
+class TestCounters:
+    def test_task_and_queue_counters(self):
+        with ThreadRuntime(num_workers=2) as rt:
+            for _ in range(20):
+                rt.async_(lambda: None)
+            rt.wait_idle(timeout_s=30)
+            assert rt.registry.get("/threads/count/cumulative").get_value() == 20
+            assert (
+                rt.registry.get("/threads/count/pending-accesses").get_value() > 0
+            )
+            assert rt.registry.get("/threads/time/cumulative").get_value() >= 0

@@ -1,0 +1,62 @@
+"""Unit tests for repro.util.timeunits."""
+
+import pytest
+
+from repro.util.timeunits import (
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    SECOND,
+    format_ns,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+
+
+class TestConstants:
+    def test_nanosecond_is_unit(self):
+        assert NANOSECOND == 1
+
+    def test_scale_ratios(self):
+        assert MICROSECOND == 1_000 * NANOSECOND
+        assert MILLISECOND == 1_000 * MICROSECOND
+        assert SECOND == 1_000 * MILLISECOND
+
+
+class TestConversions:
+    def test_seconds_to_ns_integral(self):
+        assert seconds_to_ns(2) == 2 * SECOND
+
+    def test_seconds_to_ns_fractional(self):
+        assert seconds_to_ns(1.5) == 1_500_000_000
+
+    def test_seconds_to_ns_rounds(self):
+        # 1 ns expressed in seconds survives the round trip.
+        assert seconds_to_ns(1e-9) == 1
+
+    def test_ns_to_seconds(self):
+        assert ns_to_seconds(2_500_000_000) == pytest.approx(2.5)
+
+    def test_round_trip(self):
+        for value in (0.0, 1e-9, 0.125, 3.75, 1e4):
+            assert ns_to_seconds(seconds_to_ns(value)) == pytest.approx(value)
+
+
+class TestFormatNs:
+    def test_nanoseconds(self):
+        assert format_ns(37) == "37ns"
+
+    def test_microseconds(self):
+        assert format_ns(2_500) == "2.500us"
+
+    def test_milliseconds(self):
+        assert format_ns(3_200_000) == "3.200ms"
+
+    def test_seconds(self):
+        assert format_ns(3_200_000_000) == "3.200s"
+
+    def test_negative_values_keep_unit(self):
+        assert format_ns(-2_500) == "-2.500us"
+
+    def test_zero(self):
+        assert format_ns(0) == "0ns"

@@ -1,0 +1,107 @@
+"""Unit tests for the 2-D wavefront workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.wavefront2d import (
+    GAP,
+    MATCH,
+    WavefrontConfig,
+    random_sequences,
+    run_wavefront,
+    serial_alignment_score,
+    wavefront_run_fn,
+)
+from repro.runtime.runtime import RuntimeConfig
+
+
+def rc(cores=4, seed=1):
+    return RuntimeConfig(platform="haswell", num_cores=cores, seed=seed)
+
+
+class TestConfig:
+    def test_tile_counts(self):
+        cfg = WavefrontConfig(n=100, tile=30)
+        assert cfg.tiles_per_side == 4
+        assert cfg.total_tasks == 16
+
+    def test_exact_tiling(self):
+        cfg = WavefrontConfig(n=128, tile=32)
+        assert cfg.tiles_per_side == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WavefrontConfig(n=0)
+        with pytest.raises(ValueError):
+            WavefrontConfig(n=10, tile=11)
+        with pytest.raises(ValueError):
+            WavefrontConfig(n=10, tile=5, cell_ns=0)
+
+
+class TestSerialReference:
+    def test_identical_sequences_all_match(self):
+        a = np.zeros(10, dtype=np.int8)
+        assert serial_alignment_score(a, a) == 10 * MATCH
+
+    def test_empty_alignment_against_gaps(self):
+        a = np.zeros(5, dtype=np.int8)
+        b = np.ones(5, dtype=np.int8) * 2
+        # Completely dissimilar: mismatch (-1) beats two gaps (-2), so the
+        # optimal score is 5 mismatches.
+        assert serial_alignment_score(a, b) == -5
+
+    def test_single_characters(self):
+        a = np.array([1], dtype=np.int8)
+        assert serial_alignment_score(a, a) == MATCH
+        b = np.array([2], dtype=np.int8)
+        assert serial_alignment_score(a, b) == -1
+
+    def test_known_prefix_case(self):
+        # b is a with one extra trailing element: n matches + 1 gap.
+        a = np.array([0, 1, 2, 3], dtype=np.int8)
+        b = np.array([0, 1, 2, 3, 1], dtype=np.int8)
+        assert serial_alignment_score(a, b) == 4 * MATCH + GAP
+
+
+class TestTiledCorrectness:
+    @pytest.mark.parametrize("tile", [1, 7, 16, 33, 96])
+    def test_matches_serial_for_any_tiling(self, tile):
+        cfg = WavefrontConfig(n=96, tile=tile, validate=True, seed=9)
+        a, b = random_sequences(cfg)
+        ref = serial_alignment_score(a, b)
+        _, score = run_wavefront(rc(cores=4), cfg)
+        assert score == ref
+
+    def test_score_independent_of_cores_and_seed(self):
+        cfg = WavefrontConfig(n=64, tile=16, validate=True, seed=2)
+        _, s1 = run_wavefront(rc(cores=1, seed=5), cfg)
+        _, s2 = run_wavefront(rc(cores=8, seed=99), cfg)
+        assert s1 == s2
+
+    def test_task_count(self):
+        cfg = WavefrontConfig(n=64, tile=16)
+        result, score = run_wavefront(rc(), cfg)
+        assert score is None
+        assert result.tasks_executed == 16
+
+
+class TestGranularityShape:
+    def test_u_shape_in_tile_size(self):
+        run_fn = wavefront_run_fn(n=512, cell_ns=3)
+        times = {
+            tile: run_fn(rc(cores=8, seed=3), tile).execution_time_ns
+            for tile in (4, 32, 512)
+        }
+        assert times[4] > times[32]       # fine-grained overhead wall
+        assert times[512] > times[32]     # pipeline fill / no parallelism
+
+    def test_parallelism_helps_at_good_tile(self):
+        run_fn = wavefront_run_fn(n=512, cell_ns=3)
+        t1 = run_fn(rc(cores=1, seed=4), 32).execution_time_ns
+        t8 = run_fn(rc(cores=8, seed=4), 32).execution_time_ns
+        assert t8 < t1
+
+    def test_run_fn_clamps_tile(self):
+        run_fn = wavefront_run_fn(n=64)
+        result = run_fn(rc(), 1_000_000)
+        assert result.tasks_executed == 1

@@ -1,0 +1,48 @@
+"""Unit tests for work descriptors."""
+
+import pytest
+
+from repro.runtime.work import FixedWork, NoWork, StencilWork, WorkDescriptor
+
+
+class TestStencilWork:
+    def test_holds_points(self):
+        assert StencilWork(points=4096).points == 4096
+
+    def test_frozen(self):
+        w = StencilWork(points=10)
+        with pytest.raises(AttributeError):
+            w.points = 20  # type: ignore[misc]
+
+    def test_equality_by_value(self):
+        assert StencilWork(5) == StencilWork(5)
+        assert StencilWork(5) != StencilWork(6)
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            StencilWork(points=bad)
+
+    def test_is_descriptor(self):
+        assert isinstance(StencilWork(1), WorkDescriptor)
+
+
+class TestFixedWork:
+    def test_holds_ns(self):
+        assert FixedWork(ns=1_000).ns == 1_000
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            FixedWork(ns=bad)
+
+    def test_is_descriptor(self):
+        assert isinstance(FixedWork(1), WorkDescriptor)
+
+
+class TestNoWork:
+    def test_singleton_like_equality(self):
+        assert NoWork() == NoWork()
+
+    def test_is_descriptor(self):
+        assert isinstance(NoWork(), WorkDescriptor)
