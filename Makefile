@@ -1,6 +1,9 @@
 # Convenience targets; each maps to a documented command in README.md.
 
-.PHONY: install test test-fast bench experiments experiments-report clean
+.PHONY: check install test test-fast lint bench experiments experiments-report clean
+
+# Default flow: static analysis over shipped workloads, then the test suite.
+check: lint test
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +13,11 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+# Task-graph lint (docs/analysis.md) over everything we ship as example
+# code; CI requires zero findings here.
+lint:
+	PYTHONPATH=src python -m repro.analysis examples src/repro/apps --format text
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,55 @@
+"""repro.analysis — correctness tooling for task-graph workloads.
+
+Three layers over one :class:`~repro.analysis.findings.Finding` currency:
+
+1. **Static lint** (:mod:`repro.analysis.lint`) — AST rules TG101–TG105
+   over workload scripts: blocking gets inside task bodies, lost dependency
+   edges, unsynchronized closure captures, per-element spawning, and
+   never-fulfilled futures.  CLI: ``python -m repro.analysis <paths>``.
+2. **Graph analysis** (:mod:`repro.analysis.graph`) — cycles (GA201),
+   orphans (GA202), and width/depth/critical-path statistics over live
+   future graphs or execution traces.
+3. **Dynamic checkers** (:mod:`repro.analysis.dynamic`) — the runtimes'
+   opt-in ``check=True`` mode: leaked futures (DC301), runtime dependency
+   cycles (DC302), and lockset data races (DC303).
+
+See docs/analysis.md for every rule's rationale and suppression syntax.
+"""
+
+from repro.analysis.dynamic import (
+    CheckError,
+    Monitored,
+    RuntimeChecker,
+    TrackedLock,
+)
+from repro.analysis.findings import Finding, RULES, Rule, Severity, sort_findings
+from repro.analysis.graph import (
+    CycleError,
+    GraphStats,
+    TaskGraph,
+    graph_from_futures,
+    graph_from_trace,
+    trace_task_weights,
+)
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "CheckError",
+    "CycleError",
+    "Finding",
+    "GraphStats",
+    "Monitored",
+    "RULES",
+    "Rule",
+    "RuntimeChecker",
+    "Severity",
+    "TaskGraph",
+    "TrackedLock",
+    "graph_from_futures",
+    "graph_from_trace",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "sort_findings",
+    "trace_task_weights",
+]

@@ -1,0 +1,119 @@
+"""Command-line driver: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis examples/                      # lint a directory
+    python -m repro.analysis workload.py --format json      # machine-readable
+    python -m repro.analysis --list-rules                   # rule catalogue
+    python -m repro.analysis src --select TG101,TG105       # only these rules
+
+Exit status: 0 = clean, 1 = findings reported, 2 = usage error.  CI runs
+this over ``examples/`` and ``src/repro/apps`` (``make lint``) with zero
+findings required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+from repro.analysis.findings import RULES, Severity
+from repro.analysis.lint import expand_paths, lint_paths
+
+
+def _split_ids(value: str) -> list[str]:
+    return [v.strip() for v in value.split(",") if v.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Task-graph lint for repro workload scripts.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", type=_split_ids, default=None, metavar="IDS",
+        help="comma-separated rule IDs to report exclusively",
+    )
+    parser.add_argument(
+        "--ignore", type=_split_ids, default=None, metavar="IDS",
+        help="comma-separated rule IDs to drop",
+    )
+    parser.add_argument(
+        "--min-severity", choices=("info", "warning", "error"),
+        default="info", help="report findings at or above this severity",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule ID with its severity and summary, then exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  {rule.severity!s:7}  {rule.name}: {rule.summary}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    # A typo'd rule ID must not silently report "clean".
+    unknown = [
+        rid
+        for rid in (args.select or []) + (args.ignore or [])
+        if rid not in RULES
+    ]
+    if unknown:
+        print(f"error: unknown rule ID: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    files = expand_paths(args.paths)
+    missing = [str(p) for p in files if not p.is_file()]
+    if missing:
+        print(f"error: no such file: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    threshold = Severity[args.min_severity.upper()]
+    findings = [
+        f
+        for f in lint_paths(files, select=args.select, ignore=args.ignore)
+        if f.severity >= threshold
+    ]
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": len(files),
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.format())
+        by_sev = Counter(str(f.severity) for f in findings)
+        detail = ", ".join(f"{n} {sev}" for sev, n in sorted(by_sev.items()))
+        summary = (
+            f"{len(findings)} finding(s) ({detail}) in {len(files)} file(s)"
+            if findings
+            else f"clean: 0 findings in {len(files)} file(s)"
+        )
+        print(summary)
+    return 1 if findings else 0

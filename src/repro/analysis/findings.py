@@ -1,0 +1,143 @@
+"""Findings: the common currency of every analysis layer.
+
+Static lint rules (``TG1xx``), graph analyses (``GA2xx``), and the dynamic
+checkers (``DC3xx``) all report :class:`Finding` records so the CLI, tests,
+and CI treat them uniformly.  A finding pins a rule ID, a severity, a
+human-readable message, and — when it came from source — a ``file:line:col``
+anchor.
+
+Rule IDs are stable API: docs/analysis.md documents each one, inline
+suppressions name them (``# noqa: TG101``), and the golden-findings tests
+assert on them.  Add new rules by extending :data:`RULES`; never renumber.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered so findings can be filtered with a threshold."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one analysis rule."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+#: Every rule any layer can emit.  See docs/analysis.md for rationale.
+RULES: dict[str, Rule] = {
+    r.rule_id: r
+    for r in [
+        # -- static lint (AST) ------------------------------------------------
+        Rule(
+            "TG100", "syntax-error", Severity.ERROR,
+            "file could not be parsed; nothing else was checked",
+        ),
+        Rule(
+            "TG101", "blocking-get-in-task", Severity.ERROR,
+            "task body blocks on a future (.value/.get()/wait()); suspension "
+            "must go through a generator yield or a dataflow dependency",
+        ),
+        Rule(
+            "TG102", "lost-future", Severity.WARNING,
+            "future is created but never composed or consumed — a dropped "
+            "dependency-graph edge",
+        ),
+        Rule(
+            "TG103", "unsynchronized-capture", Severity.WARNING,
+            "task closure mutates enclosing mutable state without holding a "
+            "lock (data race under the thread executor)",
+        ),
+        Rule(
+            "TG104", "per-element-spawn", Severity.WARNING,
+            "independent task spawned per element of a nested loop — the "
+            "fine-grained overhead wall; chunk the work instead",
+        ),
+        Rule(
+            "TG105", "unfulfilled-future", Severity.ERROR,
+            "manually constructed Future() is never given a value or "
+            "exception — anything waiting on it deadlocks",
+        ),
+        # -- graph analysis ---------------------------------------------------
+        Rule(
+            "GA201", "dependency-cycle", Severity.ERROR,
+            "dependency graph contains a cycle; the runtime cannot order it "
+            "and the program deadlocks",
+        ),
+        Rule(
+            "GA202", "orphan-future", Severity.WARNING,
+            "node contributes to no requested output (unreachable work)",
+        ),
+        # -- dynamic checkers -------------------------------------------------
+        Rule(
+            "DC301", "leaked-future", Severity.ERROR,
+            "future was still pending when the runtime finished — its task "
+            "never ran or its dependencies never completed",
+        ),
+        Rule(
+            "DC302", "runtime-dependency-cycle", Severity.ERROR,
+            "futures registered at runtime form a dependency cycle",
+        ),
+        Rule(
+            "DC303", "data-race", Severity.ERROR,
+            "monitored state was accessed by multiple threads with no common "
+            "lock held (lockset analysis)",
+        ),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported problem, anchored to source or to a runtime object."""
+
+    rule_id: str
+    message: str
+    file: str = "<runtime>"
+    line: int = 0
+    col: int = 0
+    #: severity resolved from RULES at construction unless overridden
+    severity: Severity = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.severity is None:
+            object.__setattr__(
+                self, "severity", RULES[self.rule_id].severity
+            )
+
+    def format(self) -> str:
+        """``file:line:col: RULE severity: message`` (line 0 = no anchor)."""
+        anchor = f"{self.file}:{self.line}:{self.col}" if self.line else self.file
+        return f"{anchor}: {self.rule_id} {self.severity}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "name": RULES[self.rule_id].name if self.rule_id in RULES else "",
+            "severity": str(self.severity),
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by file, line, column, then rule ID."""
+    return sorted(
+        findings, key=lambda f: (f.file, f.line, f.col, f.rule_id)
+    )

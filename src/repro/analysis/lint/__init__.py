@@ -1,0 +1,116 @@
+"""Static lint over workload scripts: ``lint_source`` / ``lint_file`` /
+``lint_paths``.
+
+The linter parses each file once, builds the scope model
+(:mod:`repro.analysis.lint.scopes`), runs every rule in
+:data:`repro.analysis.lint.rules.ALL_RULES`, then drops findings the source
+suppresses inline:
+
+- ``# noqa`` on the flagged line suppresses every rule there;
+- ``# noqa: TG102`` (comma-separated IDs) suppresses only those rules.
+
+Unparseable files yield a single TG100 finding instead of crashing the run —
+a syntax error in one workload must not hide findings in the others.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.lint.rules import ALL_RULES, LintContext
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?", re.IGNORECASE
+)
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """line number -> suppressed rule IDs (None = all rules)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {r.strip().upper() for r in rules.split(",")}
+    return out
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns sorted, unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "TG100",
+                f"syntax error: {exc.msg}",
+                filename,
+                exc.lineno or 0,
+                (exc.offset or 1) - 1,
+            )
+        ]
+    ctx = LintContext(tree, filename)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        findings.extend(rule(ctx))
+    suppressed = _suppressions(source)
+    kept = [
+        f
+        for f in findings
+        if not (
+            f.line in suppressed
+            and (suppressed[f.line] is None or f.rule_id in suppressed[f.line])
+        )
+    ]
+    return sort_findings(kept)
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def expand_paths(paths: Iterable[str | Path]) -> list[Path]:
+    """Files as-is; directories become their ``*.py`` files, recursively."""
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint files and directories; optional rule-ID allow/deny lists."""
+    findings: list[Finding] = []
+    for path in expand_paths(paths):
+        findings.extend(lint_file(path))
+    if select:
+        chosen = {r.upper() for r in select}
+        findings = [f for f in findings if f.rule_id in chosen]
+    if ignore:
+        dropped = {r.upper() for r in ignore}
+        findings = [f for f in findings if f.rule_id not in dropped]
+    return findings
+
+
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "expand_paths",
+]

@@ -1,0 +1,369 @@
+"""The lint rules (TG101–TG105) over a parsed workload module.
+
+Each rule is a function ``(ctx) -> list[Finding]`` over a shared
+:class:`LintContext`; the driver in ``lint/__init__`` runs them all and
+applies inline suppressions.  Rationale for every rule — and which of the
+paper's granularity walls it guards — lives in docs/analysis.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint.scopes import (
+    FUTURE_CONSUMERS,
+    MUTATING_METHODS,
+    Scope,
+    SpawnSite,
+    build_scopes,
+    call_name,
+    find_spawn_sites,
+    is_future_expr,
+)
+
+
+@dataclass
+class LintContext:
+    """Everything the rules need about one module."""
+
+    tree: ast.Module
+    filename: str
+    root: Scope = field(init=False)
+    sites: list[SpawnSite] = field(init=False)
+    _scope_by_node: dict[int, Scope] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.root = build_scopes(self.tree)
+        self.sites = find_spawn_sites(self.tree)
+        self._scope_by_node = {id(s.node): s for s in self.root.walk()}
+
+    def scope_of(self, node: ast.AST) -> Scope | None:
+        return self._scope_by_node.get(id(node))
+
+    def body_scope(self, site: SpawnSite) -> Scope | None:
+        """Resolve a spawn site's task body to its scope, if analyzable."""
+        body = site.body
+        if body is None:
+            return None
+        if isinstance(body, ast.Lambda):
+            return self.scope_of(body)
+        if isinstance(body, ast.Name):
+            for scope in self.root.walk():
+                if body.id in scope.functions:
+                    return scope.functions[body.id]
+        return None
+
+
+def _body_nodes(scope: Scope) -> Iterator[tuple[ast.AST, int]]:
+    """Nodes lexically inside a task body, with enclosing ``with`` depth.
+
+    Nested function definitions are pruned: they are separate (sub)task
+    bodies or helpers, analyzed at their own spawn sites.
+    """
+
+    def walk(node: ast.AST, with_depth: int) -> Iterator[tuple[ast.AST, int]]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                yield item.context_expr, with_depth
+                yield from walk(item.context_expr, with_depth)
+            for stmt in node.body:
+                yield stmt, with_depth + 1
+                yield from walk(stmt, with_depth + 1)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield child, with_depth
+            yield from walk(child, with_depth)
+
+    node = scope.node
+    if isinstance(node, ast.Lambda):
+        yield node.body, 0
+        yield from walk(node.body, 0)
+    else:
+        for stmt in getattr(node, "body", []):
+            yield stmt, 0
+            yield from walk(stmt, 0)
+
+
+def _loc(node: ast.AST) -> tuple[int, int]:
+    return getattr(node, "lineno", 0), getattr(node, "col_offset", 0)
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    """The root Name of an attribute/subscript chain (``a.b[c].d`` -> a)."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+# -- TG101: blocking get inside a task body ----------------------------------------
+
+
+def check_blocking_get(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for site in ctx.sites:
+        scope = ctx.body_scope(site)
+        if scope is None:
+            continue
+        future_names = scope.future_names()
+        for node, _wd in _body_nodes(scope):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in {"wait", "wait_idle", "run"} and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    line, col = _loc(node)
+                    findings.append(
+                        Finding(
+                            "TG101",
+                            f"task body calls .{name}() — it blocks a worker "
+                            "and can deadlock the pool; depend on the future "
+                            "via dataflow or yield it from a generator task",
+                            ctx.filename, line, col,
+                        )
+                    )
+                elif (
+                    name == "get"
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in future_names
+                ):
+                    line, col = _loc(node)
+                    findings.append(
+                        Finding(
+                            "TG101",
+                            f"task body blocks on future "
+                            f"{node.func.value.id!r}.get(); make it a "
+                            "dependency instead",
+                            ctx.filename, line, col,
+                        )
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "value"
+                and isinstance(node.ctx, ast.Load)
+                and not scope.is_generator
+            ):
+                base = node.value
+                is_future = (
+                    isinstance(base, ast.Name) and base.id in future_names
+                ) or (isinstance(base, ast.Call) and is_future_expr(base))
+                if is_future:
+                    what = (
+                        f"future {base.id!r}"
+                        if isinstance(base, ast.Name)
+                        else "a freshly spawned future"
+                    )
+                    line, col = _loc(node)
+                    findings.append(
+                        Finding(
+                            "TG101",
+                            f"task body reads .value of {what} — unready "
+                            "futures raise (sim) or race (threads); pass it "
+                            "as a dataflow dependency or yield it",
+                            ctx.filename, line, col,
+                        )
+                    )
+    return findings
+
+
+# -- TG102: future created but never composed --------------------------------------
+
+
+def check_lost_future(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    # (a) spawn expression statements whose future is discarded outright
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and is_future_expr(node.value)
+        ):
+            line, col = _loc(node)
+            findings.append(
+                Finding(
+                    "TG102",
+                    f"result of {call_name(node.value)}() is discarded — the "
+                    "dependency edge is lost and completion is unobservable",
+                    ctx.filename, line, col,
+                )
+            )
+    # (b) future-bound names that are never read anywhere in scope
+    for scope in ctx.root.walk():
+        loads = scope.all_loads()
+        for name, node in scope.future_assigns.items():
+            if name.startswith("_") or name in loads:
+                continue
+            line, col = _loc(node)
+            findings.append(
+                Finding(
+                    "TG102",
+                    f"future {name!r} is assigned but never composed or "
+                    "consumed (lost dependency edge)",
+                    ctx.filename, line, col,
+                )
+            )
+    return findings
+
+
+# -- TG103: unsynchronized mutation of captured state ------------------------------
+
+
+def check_unsynchronized_capture(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    seen: set[tuple[int, int, str]] = set()
+
+    def captured(scope: Scope, name: str | None) -> bool:
+        if name is None or scope.binds(name):
+            return False
+        return scope.parent is not None and (
+            scope.parent.binding_scope(name) is not None
+        )
+
+    def flag(node: ast.AST, name: str, how: str) -> None:
+        line, col = _loc(node)
+        key = (line, col, name)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(
+            Finding(
+                "TG103",
+                f"task closure {how} captured {name!r} without holding a "
+                "lock — a data race when tasks run on OS threads; guard it "
+                "with a lock or return a value and reduce via dataflow",
+                ctx.filename, line, col,
+            )
+        )
+
+    for site in ctx.sites:
+        scope = ctx.body_scope(site)
+        if scope is None:
+            continue
+        for node, with_depth in _body_nodes(scope):
+            if with_depth > 0:
+                continue  # inside a with-block: assume it is the lock
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        name = _base_name(target)
+                        if captured(scope, name):
+                            flag(node, name, "writes into")
+                    elif isinstance(target, ast.Name) and (
+                        target.id in scope.outer_decls
+                    ):
+                        flag(node, target.id, "rebinds")
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in MUTATING_METHODS:
+                    name = _base_name(node.func.value)
+                    if captured(scope, name):
+                        flag(node, name, f"mutates ({node.func.attr})")
+    return findings
+
+
+# -- TG104: per-element spawning in tight (nested) loops ---------------------------
+
+
+def check_per_element_spawn(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for site in ctx.sites:
+        if site.loop_depth < 2:
+            continue
+        if site.kind == "async_":
+            independent = True
+        elif site.kind == "dataflow":
+            # dataflow with real dependencies *is* the graph — only flag the
+            # degenerate no-dependency form.
+            independent = isinstance(site.deps, (ast.List, ast.Tuple)) and not (
+                site.deps.elts
+            )
+        else:
+            independent = False
+        if not independent:
+            continue
+        line, col = _loc(site.call)
+        findings.append(
+            Finding(
+                "TG104",
+                f"independent task spawned per element {site.loop_depth} "
+                "loops deep — fine-grained tasks hit the overhead wall "
+                "(paper Sec. IV); chunk with parallel_for_each/AutoChunkSize "
+                "or batch the inner loop into one task",
+                ctx.filename, line, col,
+            )
+        )
+    return findings
+
+
+# -- TG105: manually built Future never satisfied ----------------------------------
+
+
+def check_unfulfilled_future(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for scope in ctx.root.walk():
+        if not scope.manual_futures:
+            continue
+        satisfied: set[str] = set()
+        escaped: set[str] = set()
+        names = set(scope.manual_futures)
+
+        def names_in(node: ast.AST) -> set[str]:
+            return {
+                n.id
+                for n in ast.walk(node)
+                if isinstance(n, ast.Name) and n.id in names
+            }
+
+        for node in ast.walk(scope.node):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in {"set_value", "set_exception"}
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in names
+                ):
+                    satisfied.add(node.func.value.id)
+                elif call_name(node) not in FUTURE_CONSUMERS:
+                    for arg in list(node.args) + [k.value for k in node.keywords]:
+                        escaped |= names_in(arg)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    escaped |= names_in(node.value)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        escaped |= names_in(node.value)
+        for name, ctor in scope.manual_futures.items():
+            if name in satisfied or name in escaped:
+                continue
+            line, col = _loc(ctor)
+            findings.append(
+                Finding(
+                    "TG105",
+                    f"Future {name!r} is constructed but no code path calls "
+                    "set_value/set_exception — anything depending on it "
+                    "waits forever",
+                    ctx.filename, line, col,
+                )
+            )
+    return findings
+
+
+ALL_RULES = [
+    check_blocking_get,
+    check_lost_future,
+    check_unsynchronized_capture,
+    check_per_element_spawn,
+    check_unfulfilled_future,
+]

@@ -22,6 +22,7 @@ same locality behaviour HPX's scheduler exhibits.
 from __future__ import annotations
 
 import enum
+import itertools
 from typing import Any, Callable, Protocol, Sequence
 
 from repro.runtime.task import Priority, Task
@@ -53,14 +54,31 @@ class Future:
     executor wraps state changes in its own lock.
     """
 
-    __slots__ = ("_state", "_value", "_exception", "_callbacks", "name")
+    __slots__ = (
+        "_state",
+        "_value",
+        "_exception",
+        "_callbacks",
+        "name",
+        "future_id",
+        "dependencies",
+    )
+
+    #: process-wide id source; ids are stable within a run, so analyzer and
+    #: trace findings can say "future 'reduce' (#42)" instead of "a future"
+    _ids = itertools.count(1)
 
     def __init__(self, name: str = "") -> None:
         self._state = _FutureState.PENDING
         self._value: Any = None
         self._exception: BaseException | None = None
         self._callbacks: list[Callable[[Future], None]] | None = None
-        self.name = name
+        self.future_id: int = next(Future._ids)
+        self.name = name or f"future#{self.future_id}"
+        #: the futures this one was composed from (when_all/when_any/
+        #: dataflow/then record their inputs here); the analyzer's
+        #: graph_from_futures walks these edges
+        self.dependencies: tuple["Future", ...] = ()
 
     # -- producer side -------------------------------------------------------
 
@@ -122,7 +140,7 @@ class Future:
         self._callbacks.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Future {self.name!r} {self._state.value}>"
+        return f"<Future #{self.future_id} {self.name!r} {self._state.value}>"
 
 
 def make_ready_future(value: Any, name: str = "") -> Future:
@@ -140,6 +158,7 @@ def when_all(futures: Sequence[Future], name: str = "") -> Future:
     attached to the inputs' completion.
     """
     result = Future(name or "when_all")
+    result.dependencies = tuple(futures)
     remaining = len(futures)
     if remaining == 0:
         result.set_value([])
@@ -167,6 +186,7 @@ def when_any(futures: Sequence[Future], name: str = "") -> Future:
     if not futures:
         raise ValueError("when_any() requires at least one future")
     result = Future(name or "when_any")
+    result.dependencies = tuple(futures)
 
     def one_done(index: int, f: Future) -> None:
         if not result.is_ready:
@@ -195,6 +215,7 @@ def then(
     spawned even when ``future`` carries an exception.
     """
     result = Future(name or getattr(fn, "__name__", "then"))
+    result.dependencies = (future,)
 
     def body() -> None:
         try:
@@ -230,6 +251,7 @@ def dataflow(
     """
     result = Future(name or getattr(fn, "__name__", "dataflow"))
     deps = list(dependencies)
+    result.dependencies = tuple(deps)
 
     def body() -> None:
         try:

@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.analysis.dynamic import CheckError, RuntimeChecker
 from repro.counters.interval import IntervalSampler
 from repro.counters.registry import CounterRegistry, CounterSnapshot
 from repro.runtime.future import Future, dataflow as _dataflow
-from repro.runtime.sim_executor import SimExecutor
+from repro.runtime.sim_executor import DeadlockError, SimExecutor
 from repro.runtime.task import Priority, Task
 from repro.runtime.work import WorkDescriptor
 from repro.schedulers import make_scheduler
@@ -44,6 +45,10 @@ class RuntimeConfig:
     timer_counters: bool = True
     #: record an :class:`repro.sim.trace.ExecutionTrace` of the run
     trace: bool = False
+    #: install the dynamic checkers (:mod:`repro.analysis.dynamic`):
+    #: dependency-cycle detection before the run, leaked-future detection
+    #: after it; failures raise :class:`repro.analysis.CheckError`
+    check: bool = False
 
     def resolve_platform(self) -> PlatformSpec:
         if isinstance(self.platform, PlatformSpec):
@@ -144,6 +149,12 @@ class Runtime:
         self.sampler = IntervalSampler(self.registry)
         if config.trace:
             self.executor.enable_tracing()
+        #: dynamic checker (``check=True``); also the handle for monitors
+        self.checker: RuntimeChecker | None = (
+            RuntimeChecker(f"Runtime[{self.platform.name}]")
+            if config.check
+            else None
+        )
         self._ran = False
 
     @property
@@ -178,6 +189,8 @@ class Runtime:
                 result.set_value(value)
 
         task = Task(body, work=work, name=result.name, priority=priority)
+        if self.checker is not None:
+            self.checker.register_future(result)
         self.spawn(task, worker)
         return result
 
@@ -191,9 +204,12 @@ class Runtime:
         priority: Priority = Priority.NORMAL,
     ) -> Future:
         """``hpx::dataflow``: run ``fn`` on dependency values when all ready."""
-        return _dataflow(
+        result = _dataflow(
             self, fn, dependencies, work=work, name=name, priority=priority
         )
+        if self.checker is not None:
+            self.checker.register_future(result)
+        return result
 
     # -- driving -------------------------------------------------------------------
 
@@ -220,7 +236,25 @@ class Runtime:
 
             self.simulator.schedule(sample_interval_ns, tick)
 
-        finish_ns = self.executor.run()
+        if self.checker is not None:
+            # Pre-flight: a dependency cycle among registered futures can
+            # never complete; report it by name instead of simulating into
+            # a deadlock.
+            self.checker.raise_if_findings(self.checker.cycle_findings())
+        try:
+            finish_ns = self.executor.run()
+        except DeadlockError:
+            if self.checker is not None:
+                findings = self.checker.cycle_findings()
+                if findings:
+                    raise CheckError(findings) from None
+            raise
+        if self.checker is not None:
+            # Post-run: every future the runtime handed out must be ready;
+            # a pending one is a leaked (never-satisfiable) future.
+            self.checker.raise_if_findings(
+                self.checker.leak_findings() + self.checker.race_findings()
+            )
         return RunResult(
             execution_time_ns=finish_ns,
             counters=self.registry.snapshot(finish_ns),

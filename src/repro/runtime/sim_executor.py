@@ -37,7 +37,7 @@ from repro.schedulers.base import FoundWork, SchedulingPolicy, WorkSource
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Event, Simulator
 from repro.sim.machine import Machine
-from repro.sim.trace import ExecutionTrace, PhaseRecord, StealRecord
+from repro.sim.trace import ExecutionTrace, PhaseRecord, SpawnRecord, StealRecord
 
 #: WorkSource -> provenance label recorded in traces
 _SOURCE_LABELS = {
@@ -112,6 +112,9 @@ class SimExecutor:
         self._outstanding = 0
         self._total_spawned = 0
         self._current_worker: int | None = None
+        #: the task whose body (or completion callbacks) is running right
+        #: now; spawn parentage in traces comes from here
+        self._current_task: Task | None = None
         self._spawn_rr = 0
         #: workers currently in idle backoff, keyed by index (wake fast path)
         self._sleepers: dict[int, _SimWorker] = {}
@@ -220,6 +223,16 @@ class SimExecutor:
         task.created_ns = self.sim.now
         self._outstanding += 1
         self._total_spawned += 1
+        if self.trace is not None:
+            parent = self._current_task
+            self.trace.record_spawn(
+                SpawnRecord(
+                    parent_task_id=parent.task_id if parent is not None else None,
+                    child_task_id=task.task_id,
+                    child_name=task.name,
+                    time_ns=self.sim.now,
+                )
+            )
         self.policy.enqueue_staged(task, worker)
         self._wake_idle_workers()
 
@@ -401,10 +414,12 @@ class SimExecutor:
         self._c_avg_phase_overhead.add_sample(mgmt_ns)
 
         self._current_worker = worker.index
+        self._current_task = task
         try:
             finished, waits_on = self._advance_body(task)
         finally:
             self._current_worker = None
+            self._current_task = None
 
         if finished:
             self._finish_task(worker, task)

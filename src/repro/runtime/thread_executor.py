@@ -26,6 +26,7 @@ import threading
 import time
 from typing import Any, Callable, Sequence
 
+from repro.analysis.dynamic import RuntimeChecker
 from repro.counters.registry import CounterRegistry
 from repro.runtime.future import Future, when_all
 from repro.runtime.task import Priority, Task, TaskState
@@ -80,7 +81,12 @@ class ThreadRuntime:
         num_workers: int = 4,
         scheduler: str | SchedulingPolicy = "priority-local",
         numa_domains: int = 1,
+        check: bool = False,
     ) -> None:
+        """``check=True`` installs the dynamic checkers: leaked-future and
+        dependency-cycle detection at shutdown, and the lockset monitor
+        (``self.checker.monitor`` / ``self.checker.tracked_lock``) for
+        shared state; findings raise :class:`repro.analysis.CheckError`."""
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.machine = Machine(host_platform(num_workers, numa_domains), num_workers)
@@ -99,6 +105,9 @@ class ThreadRuntime:
         self._started_ns: int | None = None
         self._threads: list[threading.Thread] = []
         self._local = threading.local()
+        self.checker: RuntimeChecker | None = (
+            RuntimeChecker("ThreadRuntime") if check else None
+        )
         self._register_counters()
 
     def _register_counters(self) -> None:
@@ -142,7 +151,13 @@ class ThreadRuntime:
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers; with ``wait`` (default), drain outstanding work
-        first."""
+        first.
+
+        With ``check=True`` and a drained shutdown, the dynamic checkers run
+        last: dependency cycles and still-pending (leaked) futures among
+        everything this runtime handed out, plus lockset races on monitored
+        state, raise :class:`repro.analysis.CheckError`.
+        """
         if wait:
             self.wait_idle()
         with self._lock:
@@ -151,6 +166,8 @@ class ThreadRuntime:
         for t in self._threads:
             t.join(timeout=10.0)
         self._threads.clear()
+        if wait and self.checker is not None:
+            self.checker.raise_if_findings()
 
     def __enter__(self) -> "ThreadRuntime":
         return self.start()
@@ -192,6 +209,8 @@ class ThreadRuntime:
             else:
                 self._set_value(result, value)
 
+        if self.checker is not None:
+            self.checker.register_future(result)
         self.spawn(Task(body, work=work, name=result.name, priority=priority))
         return result
 
@@ -207,6 +226,7 @@ class ThreadRuntime:
         """Run ``fn`` on the dependency values once all are ready."""
         result = Future(name or getattr(fn, "__name__", "dataflow"))
         deps = list(dependencies)
+        result.dependencies = tuple(deps)
 
         def body() -> None:
             try:
@@ -219,10 +239,14 @@ class ThreadRuntime:
         def launch(_ready: Future) -> None:
             failed = next((d for d in deps if d.has_exception), None)
             if failed is not None:
-                result.set_exception(failed.exception)  # type: ignore[arg-type]
+                # Through _set_exception so threads blocked in wait() are
+                # woken: a dependency failing must never hang a join.
+                self._set_exception(result, failed.exception)  # type: ignore[arg-type]
                 return
             self.spawn(Task(body, work=work, name=result.name, priority=priority))
 
+        if self.checker is not None:
+            self.checker.register_future(result)
         with self._lock:
             when_all(deps, name=f"{result.name}:deps").on_ready(launch)
         return result
@@ -317,5 +341,7 @@ class ThreadRuntime:
                 task.result = error
                 self._c_errors.increment()
             self._outstanding -= 1
-            if self._outstanding == 0:
-                self._all_done.notify_all()
+            # Notify on *every* termination, not only the last: a future
+            # satisfied inside a raw task body (bypassing _set_value) must
+            # still wake threads blocked in wait()/wait_idle().
+            self._all_done.notify_all()

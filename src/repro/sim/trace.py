@@ -54,12 +54,30 @@ class StealRecord:
     staged: bool
 
 
+@dataclass(frozen=True, slots=True)
+class SpawnRecord:
+    """One task creation, with parentage.
+
+    ``parent_task_id`` is the task in whose execution context the spawn
+    happened (dataflow continuations, nested asyncs), or ``None`` for
+    top-level spawns from the driver.  The parentage edges are what
+    :func:`repro.analysis.graph.graph_from_trace` reconstructs the task
+    graph from.
+    """
+
+    parent_task_id: int | None
+    child_task_id: int
+    child_name: str
+    time_ns: int
+
+
 @dataclass
 class ExecutionTrace:
     """Accumulates the event record of one simulated run."""
 
     phases: list[PhaseRecord] = field(default_factory=list)
     steals: list[StealRecord] = field(default_factory=list)
+    spawns: list[SpawnRecord] = field(default_factory=list)
     num_workers: int = 0
     finish_ns: int = 0
 
@@ -70,6 +88,9 @@ class ExecutionTrace:
 
     def record_steal(self, record: StealRecord) -> None:
         self.steals.append(record)
+
+    def record_spawn(self, record: SpawnRecord) -> None:
+        self.spawns.append(record)
 
     # -- queries ----------------------------------------------------------------------
 

@@ -1,0 +1,204 @@
+"""Graph analysis: cycles, orphans, shape stats, and the two builders."""
+
+import pytest
+
+from repro import Future, Runtime, RuntimeConfig, when_all
+from repro.analysis import (
+    CycleError,
+    TaskGraph,
+    graph_from_futures,
+    graph_from_trace,
+    trace_task_weights,
+)
+from repro.runtime.work import FixedWork
+
+
+def diamond() -> TaskGraph:
+    """1 -> {2, 3} -> 4."""
+    g = TaskGraph()
+    g.add_edge(1, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 4)
+    g.add_edge(3, 4)
+    return g
+
+
+# -- cycles -----------------------------------------------------------------------
+
+
+def test_acyclic_graph_has_no_cycles():
+    assert diamond().find_cycles() == []
+
+
+def test_simple_cycle_detected():
+    g = diamond()
+    g.add_edge(4, 1)  # close the diamond
+    cycles = g.find_cycles()
+    assert len(cycles) == 1
+    assert sorted(cycles[0]) == [1, 2, 3, 4]
+
+
+def test_self_loop_detected():
+    g = TaskGraph()
+    g.add_node(7, "selfie")
+    g.add_edge(7, 7)
+    assert g.find_cycles() == [[7]]
+
+
+def test_two_disjoint_cycles():
+    g = TaskGraph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 1)
+    g.add_edge(3, 4)
+    g.add_edge(4, 3)
+    assert len(g.find_cycles()) == 2
+
+
+def test_deep_chain_does_not_overflow():
+    g = TaskGraph()
+    for i in range(10_000):
+        g.add_edge(i, i + 1)
+    assert g.find_cycles() == []
+    assert g.stats().depth == 10_001
+
+
+# -- orphans ----------------------------------------------------------------------
+
+
+def test_orphans_relative_to_outputs():
+    g = diamond()
+    g.add_edge(5, 6)  # a side computation nothing requested
+    orphaned = g.orphans(outputs=[4])
+    assert orphaned == [5, 6]
+
+
+def test_no_orphans_when_everything_feeds_output():
+    assert diamond().orphans(outputs=[4]) == []
+
+
+def test_isolated_nodes_without_outputs():
+    g = diamond()
+    g.add_node(9, "island")
+    assert g.orphans() == [9]
+
+
+def test_findings_name_cycles_and_orphans():
+    g = TaskGraph()
+    g.add_node(1, "a")
+    g.add_node(2, "b")
+    g.add_edge(1, 2)
+    g.add_edge(2, 1)
+    g.add_node(3, "island")
+    findings = g.findings()
+    rules = sorted(f.rule_id for f in findings)
+    assert rules == ["GA201", "GA202"]
+    cycle_msg = next(f for f in findings if f.rule_id == "GA201").message
+    assert "a" in cycle_msg and "b" in cycle_msg
+
+
+# -- shape stats ------------------------------------------------------------------
+
+
+def test_diamond_stats():
+    stats = diamond().stats()
+    assert stats.num_nodes == 4
+    assert stats.num_edges == 4
+    assert stats.depth == 3
+    assert stats.max_width == 2
+    assert stats.avg_width == pytest.approx(4 / 3)
+    # Unweighted critical path: 3 nodes through either middle node.
+    assert stats.critical_path_weight == 3.0
+    assert stats.critical_path[0] == 1 and stats.critical_path[-1] == 4
+
+
+def test_weighted_critical_path_picks_heavy_branch():
+    g = diamond()
+    weight, path = g.critical_path({1: 1.0, 2: 100.0, 3: 1.0, 4: 1.0})
+    assert weight == 102.0
+    assert path == [1, 2, 4]
+
+
+def test_stats_on_cyclic_graph_raises():
+    g = diamond()
+    g.add_edge(4, 1)
+    with pytest.raises(CycleError):
+        g.stats()
+
+
+def test_empty_graph_stats():
+    stats = TaskGraph().stats()
+    assert stats.num_nodes == 0 and stats.depth == 0
+
+
+# -- graph_from_futures ------------------------------------------------------------
+
+
+def test_graph_from_futures_follows_composition():
+    rt = Runtime(num_cores=2)
+    parts = [rt.async_(lambda i=i: i, name=f"p{i}") for i in range(3)]
+    total = rt.dataflow(lambda *xs: sum(xs), parts, name="total")
+    rt.run()
+    g = graph_from_futures([total])
+    assert g.num_nodes == 4
+    assert g.num_edges == 3
+    assert g.predecessors(total.future_id) == {p.future_id for p in parts}
+    assert g.name_of(total.future_id) == "total"
+
+
+def test_graph_from_futures_when_all_edges():
+    a, b = Future("a"), Future("b")
+    combined = when_all([a, b], name="combined")
+    g = graph_from_futures([combined])
+    assert g.num_edges == 2
+    assert g.find_cycles() == []
+
+
+def test_graph_from_futures_survives_injected_cycle():
+    a, b = Future("a"), Future("b")
+    a.dependencies = (b,)
+    b.dependencies = (a,)
+    g = graph_from_futures([a])
+    cycles = g.find_cycles()
+    assert len(cycles) == 1
+    assert {g.name_of(n) for n in cycles[0]} == {"a", "b"}
+
+
+# -- graph_from_trace ---------------------------------------------------------------
+
+
+def _traced_forkjoin():
+    rt = Runtime(RuntimeConfig(num_cores=2, trace=True))
+
+    def root():
+        left = rt.async_(lambda: 1, work=FixedWork(2_000), name="left")
+        right = rt.async_(lambda: 2, work=FixedWork(9_000), name="right")
+        rt.dataflow(lambda a, b: a + b, [left, right], name="join")
+
+    rt.async_(root, work=FixedWork(1_000), name="root")
+    rt.run()
+    return rt.trace
+
+
+def test_graph_from_trace_spawn_parentage():
+    trace = _traced_forkjoin()
+    g = graph_from_trace(trace)
+    # root spawns left/right; the dataflow join is spawned from whichever
+    # dependency completed last — every task has a recorded parent but root.
+    assert g.num_nodes == 4
+    roots = [n for n in g.nodes() if not g.predecessors(n)]
+    assert len(roots) == 1
+    assert g.name_of(roots[0]) == "root"
+    assert g.find_cycles() == []
+
+
+def test_trace_weights_feed_critical_path():
+    trace = _traced_forkjoin()
+    g = graph_from_trace(trace)
+    weights = trace_task_weights(trace)
+    assert len(weights) == 4
+    weight, path = g.critical_path(weights)
+    names = [g.name_of(n) for n in path]
+    assert names[0] == "root"
+    # The heavy branch (right, 9us) dominates the light one.
+    assert "right" in names
+    assert weight >= 9_000

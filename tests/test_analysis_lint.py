@@ -1,0 +1,303 @@
+"""Golden-findings tests for every lint rule.
+
+Each rule gets (at least) one fixture that must trigger it and one *clean
+near-miss* — code that skirts the rule's pattern but is idiomatic and must
+NOT be flagged.  The near-misses encode the calibration set: the constructs
+``examples/`` and ``repro.apps`` actually use.
+"""
+
+from repro.analysis import lint_source
+
+
+def rule_ids(source: str) -> list[str]:
+    return [f.rule_id for f in lint_source(source)]
+
+
+def findings_for(source: str, rule: str):
+    return [f for f in lint_source(source) if f.rule_id == rule]
+
+
+# -- TG100: unparseable file -------------------------------------------------------
+
+
+def test_syntax_error_reports_tg100_not_crash():
+    found = lint_source("def broken(:\n", "broken.py")
+    assert [f.rule_id for f in found] == ["TG100"]
+    assert found[0].file == "broken.py"
+    assert found[0].severity.name == "ERROR"
+
+
+# -- TG101: blocking get inside a task body ----------------------------------------
+
+TG101_TRIGGER = """
+def body():
+    f = rt.async_(lambda: 1)
+    return f.value
+outer = rt.async_(body)
+"""
+
+TG101_WAIT_TRIGGER = """
+inner = rt.async_(lambda: 1)
+outer = rt.async_(lambda: rt.wait(inner))
+"""
+
+TG101_CLEAN_GENERATOR = """
+produced = rt.async_(lambda: 2)
+def consumer():
+    yield produced
+    return produced.value + 1
+rt.async_(consumer)  # noqa: TG102
+"""
+
+TG101_CLEAN_DRIVER = """
+f = rt.async_(lambda: 1)
+rt.run()
+print(f.value)
+"""
+
+
+def test_tg101_value_read_in_task_body():
+    found = findings_for(TG101_TRIGGER, "TG101")
+    assert len(found) == 1
+    assert "'f'" in found[0].message
+    assert found[0].line == 4
+
+
+def test_tg101_wait_call_in_task_body():
+    assert len(findings_for(TG101_WAIT_TRIGGER, "TG101")) == 1
+
+
+def test_tg101_generator_suspension_is_clean():
+    # The sanctioned suspension pattern: yield the future, then read it.
+    assert not findings_for(TG101_CLEAN_GENERATOR, "TG101")
+
+
+def test_tg101_driver_code_reads_are_clean():
+    # .value after run() in driver code is the normal consumption pattern.
+    assert not findings_for(TG101_CLEAN_DRIVER, "TG101")
+
+
+# -- TG102: lost future ------------------------------------------------------------
+
+TG102_DISCARD = """
+rt.async_(lambda: 1)
+rt.run()
+"""
+
+TG102_NEVER_READ = """
+def run_it(rt):
+    leaked = rt.async_(lambda: 1)
+    done = rt.async_(lambda: 2)
+    return rt.wait(done)
+"""
+
+TG102_CLEAN = """
+futures = [rt.async_(lambda i=i: i) for i in range(10)]
+total = rt.dataflow(lambda *xs: sum(xs), futures)
+rt.run()
+print(total.value)
+"""
+
+
+def test_tg102_discarded_spawn_result():
+    found = findings_for(TG102_DISCARD, "TG102")
+    assert len(found) == 1
+    assert "discarded" in found[0].message
+
+
+def test_tg102_assigned_but_never_read():
+    found = findings_for(TG102_NEVER_READ, "TG102")
+    assert len(found) == 1
+    assert "'leaked'" in found[0].message
+
+
+def test_tg102_composed_futures_are_clean():
+    assert not findings_for(TG102_CLEAN, "TG102")
+
+
+def test_tg102_underscore_names_are_exempt():
+    assert not findings_for("_ = rt.async_(lambda: 1)\nrt.run()\n", "TG102")
+
+
+# -- TG103: unsynchronized capture -------------------------------------------------
+
+TG103_APPEND = """
+def run_it(rt):
+    results = []
+    for i in range(4):
+        rt.async_(lambda i=i: results.append(i))  # noqa: TG102
+    rt.run()
+    return results
+"""
+
+TG103_SUBSCRIPT = """
+def run_it(rt):
+    out = {}
+    f = rt.async_(lambda: out.update(a=1))
+    def body():
+        out["b"] = 2
+    g = rt.async_(body)
+    rt.run()
+    return out, f.value, g.value
+"""
+
+TG103_CLEAN_LOCKED = """
+def run_it(rt, lock):
+    results = []
+    def body(i):
+        with lock:
+            results.append(i)
+    fs = [rt.async_(body, i) for i in range(4)]
+    rt.run()
+    return results, fs
+"""
+
+TG103_CLEAN_REDUCE = """
+def run_it(rt):
+    parts = [rt.async_(lambda i=i: i * i) for i in range(4)]
+    total = rt.dataflow(lambda *xs: sum(xs), parts)
+    rt.run()
+    return total.value
+"""
+
+
+def test_tg103_append_to_captured_list():
+    found = findings_for(TG103_APPEND, "TG103")
+    assert len(found) == 1
+    assert "'results'" in found[0].message
+
+
+def test_tg103_update_and_subscript_store():
+    found = findings_for(TG103_SUBSCRIPT, "TG103")
+    assert len(found) == 2  # the .update() lambda and the out["b"] body
+
+
+def test_tg103_mutation_under_lock_is_clean():
+    assert not findings_for(TG103_CLEAN_LOCKED, "TG103")
+
+
+def test_tg103_value_reduction_is_clean():
+    assert not findings_for(TG103_CLEAN_REDUCE, "TG103")
+
+
+# -- TG104: per-element spawn in nested loops --------------------------------------
+
+TG104_TRIGGER = """
+def run_it(rt, grid):
+    fs = []
+    for row in grid:
+        for cell in row:
+            fs.append(rt.async_(lambda c=cell: c + 1))
+    rt.run()
+    return fs
+"""
+
+TG104_COMPREHENSION = """
+fs = [rt.async_(lambda: 0) for i in range(10) for j in range(10)]
+rt.run()
+print(len(fs), fs)
+"""
+
+TG104_CLEAN_SINGLE_LOOP = """
+fs = [rt.async_(lambda i=i: i) for i in range(64)]
+rt.run()
+print(len(fs))
+"""
+
+TG104_CLEAN_WAVEFRONT = """
+def run_it(rt, tiles, n):
+    for i in range(n):
+        for j in range(n):
+            deps = [tiles[i - 1, j], tiles[i, j - 1]]
+            tiles[i, j] = rt.dataflow(lambda a, b: a + b, deps)
+    rt.run()
+"""
+
+
+def test_tg104_nested_loop_spawn():
+    found = findings_for(TG104_TRIGGER, "TG104")
+    assert len(found) == 1
+    assert "2 loops deep" in found[0].message
+
+
+def test_tg104_nested_comprehension_counts_as_loops():
+    assert len(findings_for(TG104_COMPREHENSION, "TG104")) == 1
+
+
+def test_tg104_single_loop_is_clean():
+    assert not findings_for(TG104_CLEAN_SINGLE_LOOP, "TG104")
+
+
+def test_tg104_dataflow_with_dependencies_is_clean():
+    # Dependency-carrying dataflow in nested loops IS the task graph
+    # (wavefront pattern) — never flagged.
+    assert not findings_for(TG104_CLEAN_WAVEFRONT, "TG104")
+
+
+# -- TG105: unfulfilled manual future ----------------------------------------------
+
+TG105_TRIGGER = """
+from repro import Future
+never = Future("never")
+g = rt.dataflow(lambda x: x, [never])
+rt.run()
+print(g.value)
+"""
+
+TG105_CLEAN_SATISFIED = """
+from repro import Future
+done = Future("done")
+def body():
+    done.set_value(42)
+rt.async_(body)  # noqa: TG102
+rt.run()
+print(done.value)
+"""
+
+TG105_CLEAN_ESCAPES = """
+from repro import Future
+handoff = Future("handoff")
+install_completion_handler(handoff)
+rt.run()
+"""
+
+
+def test_tg105_never_satisfied_future():
+    found = findings_for(TG105_TRIGGER, "TG105")
+    assert len(found) == 1
+    assert "'never'" in found[0].message
+
+
+def test_tg105_satisfied_in_closure_is_clean():
+    # The producer/consumer idiom from repro.apps.microbench.
+    assert not findings_for(TG105_CLEAN_SATISFIED, "TG105")
+
+
+def test_tg105_future_passed_to_helper_is_clean():
+    # Escaping to an unknown callee may be satisfied elsewhere.
+    assert not findings_for(TG105_CLEAN_ESCAPES, "TG105")
+
+
+# -- suppression syntax ------------------------------------------------------------
+
+
+def test_noqa_with_rule_id_suppresses_only_that_rule():
+    src = "rt.async_(lambda: 1)  # noqa: TG102\nrt.run()\n"
+    assert not lint_source(src)
+
+
+def test_bare_noqa_suppresses_all_rules_on_line():
+    src = "rt.async_(lambda: 1)  # noqa\nrt.run()\n"
+    assert not lint_source(src)
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    src = "rt.async_(lambda: 1)  # noqa: TG104\nrt.run()\n"
+    assert rule_ids(src) == ["TG102"]
+
+
+def test_findings_carry_file_line_and_rule():
+    found = lint_source(TG102_DISCARD, "wl.py")
+    assert found[0].file == "wl.py"
+    assert found[0].line == 2
+    assert found[0].format().startswith("wl.py:2:")

@@ -1,0 +1,152 @@
+"""Error-path audit: a raising task body must never hang a join.
+
+The contract under BOTH executors: a task body that raises sets the
+exception on its future; a dataflow downstream of a failed dependency gets
+that exception (its body never runs); and every thread blocked in
+``wait()`` is woken — including when the dependency was failed from outside
+any worker thread (the path that used to bypass the condition notify).
+"""
+
+import pytest
+
+from repro import Future, Runtime, ThreadRuntime
+from repro.runtime.work import FixedWork
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def _raiser():
+    raise Boom("task body failed")
+
+
+# -- simulated executor ------------------------------------------------------------
+
+
+def test_sim_async_exception_lands_on_future():
+    rt = Runtime(num_cores=2)
+    f = rt.async_(_raiser, work=FixedWork(1_000))
+    rt.run()  # must complete, not deadlock
+    assert f.has_exception
+    with pytest.raises(Boom):
+        _ = f.value
+
+
+def test_sim_dataflow_downstream_of_failure_gets_exception():
+    rt = Runtime(num_cores=2)
+    ok = rt.async_(lambda: 1, work=FixedWork(1_000))
+    bad = rt.async_(_raiser, work=FixedWork(1_000))
+    ran = []
+
+    def downstream(a, b):  # pragma: no cover - must never run
+        ran.append((a, b))
+        return a + b
+
+    joined = rt.dataflow(downstream, [ok, bad], name="join")
+    rt.run()
+    assert joined.has_exception
+    assert ran == []  # the body was never spawned
+    with pytest.raises(Boom):
+        _ = joined.value
+
+
+def test_sim_failure_propagates_through_chains():
+    rt = Runtime(num_cores=2)
+    head = rt.async_(_raiser, work=FixedWork(1_000))
+    mid = rt.dataflow(lambda x: x + 1, [head])
+    tail = rt.dataflow(lambda x: x * 2, [mid])
+    rt.run()
+    with pytest.raises(Boom):
+        _ = tail.value
+
+
+# -- thread executor ---------------------------------------------------------------
+
+
+def test_thread_async_exception_lands_on_future():
+    with ThreadRuntime(num_workers=2) as rt:
+        f = rt.async_(_raiser)
+        with pytest.raises(Boom):
+            rt.wait(f, timeout_s=10.0)
+
+
+def test_thread_dataflow_downstream_of_failure_wakes_waiter():
+    with ThreadRuntime(num_workers=2) as rt:
+        ok = rt.async_(lambda: 1)
+        bad = rt.async_(_raiser)
+        joined = rt.dataflow(lambda a, b: a + b, [ok, bad], name="join")
+        # Regression: this wait() used to be able to hang — the failed-
+        # dependency path set the exception without notifying _all_done.
+        with pytest.raises(Boom):
+            rt.wait(joined, timeout_s=10.0)
+
+
+def test_thread_externally_failed_dependency_wakes_waiter():
+    # The dependency is failed from the *main* thread, not a worker: the
+    # dataflow's launch callback runs synchronously here and must still
+    # wake any thread blocked in wait().
+    with ThreadRuntime(num_workers=2) as rt:
+        gate = Future("gate")
+        joined = rt.dataflow(lambda x: x, [gate], name="joined")
+        import threading
+
+        results = []
+
+        def waiter():
+            try:
+                rt.wait(joined, timeout_s=10.0)
+            except BaseException as exc:  # noqa: BLE001 - recording
+                results.append(exc)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        gate.set_exception(Boom("external failure"))
+        t.join(timeout=10.0)
+        assert not t.is_alive(), "waiter hung on a failed dependency"
+        assert len(results) == 1 and isinstance(results[0], Boom)
+
+
+def test_thread_future_satisfied_inside_raw_body_wakes_waiter():
+    # A raw Task body (spawned via spawn(), not async_) satisfies a future
+    # directly; termination must notify waiters even while other tasks are
+    # still outstanding.
+    import threading as _threading
+    import time as _time
+
+    from repro.runtime.task import Task
+
+    with ThreadRuntime(num_workers=2) as rt:
+        side = Future("side-channel")
+        release = _threading.Event()
+
+        def body():
+            side.set_value(99)
+
+        def straggler():
+            release.wait(10.0)
+
+        rt.spawn(Task(straggler, name="straggler"))
+        rt.spawn(Task(body, name="producer"))
+        start = _time.monotonic()
+        value = rt.wait(side, timeout_s=10.0)
+        waited = _time.monotonic() - start
+        release.set()
+        assert value == 99
+        # Must be woken by the producer's termination, not the straggler's.
+        assert waited < 5.0
+
+
+def test_thread_raw_body_error_recorded_not_fatal():
+    with ThreadRuntime(num_workers=1) as rt:
+        from repro.runtime.task import Task
+
+        t = Task(_raiser, name="bad-raw")
+        rt.spawn(t)
+        rt.wait_idle(timeout_s=10.0)
+        assert isinstance(t.result, Boom)
+        errors = rt.registry.get("/threads/count/errors").get_value()
+        assert errors == 1.0
+        # The worker survived: it can still run more work.
+        f = rt.async_(lambda: "alive")
+        assert rt.wait(f, timeout_s=10.0) == "alive"
