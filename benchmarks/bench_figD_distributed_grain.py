@@ -1,0 +1,13 @@
+"""figD: distributed grain sweep across 1/2/4/8 localities.
+
+See the module docstring of ``repro.experiments.figD_distributed_grain``
+for the claims (best grain moves coarser with locality count; parcel
+conservation) the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figD_distributed_grain
+
+
+def test_figD_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figD_distributed_grain, bench_scale)

@@ -1,0 +1,239 @@
+"""Distributed HPX-Stencil: the 1-D heat ring across localities.
+
+The single-node benchmark (:mod:`repro.apps.stencil1d`) splits the ring
+into partitions and futurizes every per-step update.  Here the partitions
+are additionally **block-decomposed** across localities: locality *k* owns
+a contiguous block of partitions, so with L > 1 localities the ring has
+exactly L block boundaries and each time step moves 2·L halos across the
+network (one in each direction per boundary).
+
+A halo is what a real distributed HPX stencil communicates: the single edge
+point of the neighbouring partition (8 bytes of payload under an HPX parcel
+envelope).  Each boundary dependency is an explicit
+:meth:`repro.dist.DistRuntime.remote_value` proxy whose sender projects the
+edge out of the partition, resolves the *consuming* partition's AGAS gid
+(first send per neighbour misses the cache, later steps hit), and ships the
+parcel; interior dependencies stay plain local futures.
+
+As on a single node, ``validate=True`` runs the real NumPy kernel and must
+match :func:`repro.apps.stencil1d.serial_reference` to machine precision —
+now also proving the halo plumbing moves the right bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.apps.stencil1d import initial_condition
+from repro.dist.runtime import DistConfig, DistRunResult, DistRuntime
+from repro.runtime.future import Future
+from repro.runtime.work import StencilWork
+
+#: payload bytes of one halo parcel: a single float64 edge point
+HALO_BYTES = 8
+
+
+@dataclass(frozen=True)
+class DistStencilConfig:
+    """Problem definition; the locality count lives in :class:`DistConfig`."""
+
+    total_points: int = 1 << 20
+    partition_points: int = 4096
+    time_steps: int = 10
+    heat_coefficient: float = 0.25
+    #: compute real NumPy partitions and check against the serial reference
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_points < 1:
+            raise ValueError("total_points must be >= 1")
+        if not 1 <= self.partition_points <= self.total_points:
+            raise ValueError(
+                f"partition_points={self.partition_points} outside "
+                f"1..{self.total_points}"
+            )
+        if self.time_steps < 0:
+            raise ValueError("time_steps must be >= 0")
+        if not 0.0 < self.heat_coefficient <= 0.5:
+            raise ValueError("heat_coefficient must be in (0, 0.5]")
+
+    @property
+    def num_partitions(self) -> int:
+        return math.ceil(self.total_points / self.partition_points)
+
+    def partition_sizes(self) -> list[int]:
+        """Point counts per partition; only the last may be smaller."""
+        sizes = [self.partition_points] * (self.num_partitions - 1)
+        sizes.append(
+            self.total_points - self.partition_points * (self.num_partitions - 1)
+        )
+        return sizes
+
+    def owners(self, num_localities: int) -> list[int]:
+        """Block decomposition: partition index → owning locality.
+
+        Contiguous blocks, sized as evenly as possible (the first
+        ``num_partitions % L`` localities get one extra partition).
+        Requires at least one partition per locality.
+        """
+        np_count = self.num_partitions
+        if np_count < num_localities:
+            raise ValueError(
+                f"{np_count} partitions cannot cover {num_localities} "
+                "localities; coarsest usable grain is "
+                f"total_points/num_localities"
+            )
+        base, extra = divmod(np_count, num_localities)
+        owners: list[int] = []
+        for loc in range(num_localities):
+            owners.extend([loc] * (base + (1 if loc < extra else 0)))
+        return owners
+
+    def cross_halos_per_step(self, num_localities: int) -> int:
+        """Cross-locality halo parcels per time step: 2 per block boundary."""
+        if num_localities == 1:
+            return 0
+        return 2 * num_localities
+
+
+def heat_partition_halo(
+    left_point: float, mid: np.ndarray, right_point: float, coefficient: float
+) -> np.ndarray:
+    """One explicit heat step given the two neighbouring *edge points*.
+
+    Same mathematics as :func:`repro.apps.stencil1d.heat_partition`, with
+    the neighbour data already projected to the halo a distributed
+    partition would receive.
+    """
+    ext = np.concatenate(([left_point], mid, [right_point]))
+    return mid + coefficient * (ext[:-2] - 2.0 * mid + ext[2:])
+
+
+def _left_edge(value: Any) -> Any:
+    """The edge a partition exposes to its *left* neighbour (first point)."""
+    return value[0] if isinstance(value, np.ndarray) else value
+
+
+def _right_edge(value: Any) -> Any:
+    """The edge a partition exposes to its *right* neighbour (last point)."""
+    return value[-1] if isinstance(value, np.ndarray) else value
+
+
+def build_dist_stencil_graph(
+    dist: DistRuntime, config: DistStencilConfig
+) -> list[Future]:
+    """Construct the distributed dependency tree; returns the final step's
+    partition futures (each owned by its partition's home locality)."""
+    sizes = config.partition_sizes()
+    np_count = config.num_partitions
+    coeff = config.heat_coefficient
+    owners = config.owners(dist.num_localities)
+
+    # Long-lived AGAS identities: one gid per partition, homed where the
+    # partition lives.  Senders resolve the *consumer's* gid per halo send.
+    gids = [
+        dist.register_gid(owners[i], name=f"partition[{i}]")
+        for i in range(np_count)
+    ]
+
+    current: list[Future]
+    if config.validate:
+        u0 = initial_condition(config.total_points)
+        bounds = np.cumsum([0] + sizes)
+        current = [
+            dist.make_ready_future(
+                u0[bounds[i]:bounds[i + 1]],
+                locality=owners[i],
+                name=f"U[0][{i}]",
+            )
+            for i in range(np_count)
+        ]
+    else:
+        # Token payloads: the partition index stands in for the data.
+        current = [
+            dist.make_ready_future(i, locality=owners[i], name=f"U[0][{i}]")
+            for i in range(np_count)
+        ]
+
+    def halo(source: Future, source_ix: int, consumer_ix: int, edge) -> Future:
+        """The dependency partition ``consumer_ix`` takes on ``source``."""
+        if owners[source_ix] == owners[consumer_ix]:
+            return source
+        return dist.remote_value(
+            source,
+            owners[consumer_ix],
+            payload_bytes=HALO_BYTES,
+            transform=edge,
+            gid=gids[consumer_ix],
+            name=f"{source.name}->loc{owners[consumer_ix]}",
+        )
+
+    if config.validate:
+        def make_body(i: int):
+            def body(left: Any, mid: np.ndarray, right: Any) -> np.ndarray:
+                return heat_partition_halo(
+                    _right_edge(left), mid, _left_edge(right), coeff
+                )
+            return body
+    else:
+        def make_body(i: int):
+            return lambda _left, mid, _right: mid
+
+    for step in range(1, config.time_steps + 1):
+        nxt: list[Future] = []
+        for i in range(np_count):
+            left_ix = (i - 1) % np_count
+            right_ix = (i + 1) % np_count
+            deps = [
+                halo(current[left_ix], left_ix, i, _right_edge),
+                current[i],
+                halo(current[right_ix], right_ix, i, _left_edge),
+            ]
+            nxt.append(
+                dist.dataflow(
+                    make_body(i),
+                    deps,
+                    locality=owners[i],
+                    work=StencilWork(points=sizes[i]),
+                    name=f"U[{step}][{i}]",
+                )
+            )
+        current = nxt
+    return current
+
+
+@dataclass(frozen=True)
+class DistStencilOutcome:
+    """A finished distributed run plus (optionally) the computed data."""
+
+    result: DistRunResult
+    config: DistStencilConfig
+    final_partitions: list[np.ndarray] | None
+
+    def final_array(self) -> np.ndarray:
+        if self.final_partitions is None:
+            raise ValueError("run with validate=True to collect data")
+        return np.concatenate(self.final_partitions)
+
+
+def run_dist_stencil(
+    dist_config: DistConfig, config: DistStencilConfig
+) -> DistStencilOutcome:
+    """Run the distributed stencil on a fresh :class:`DistRuntime`."""
+    dist = DistRuntime(dist_config)
+    finals = build_dist_stencil_graph(dist, config)
+    result = dist.run()
+    partitions = None
+    if config.validate:
+        partitions = [f.value for f in finals]
+    else:
+        unready = sum(1 for f in finals if not f.is_ready)
+        if unready:
+            raise RuntimeError(f"{unready} final partitions never completed")
+    return DistStencilOutcome(
+        result=result, config=config, final_partitions=partitions
+    )

@@ -10,14 +10,17 @@ which addresses the *total* aggregate across all worker threads of locality 0.
 We implement the same convention: a name without an instance block expands to
 ``{locality#0/total}``.
 
-Only single-node experiments appear in the paper, so localities other than 0
-exist in the grammar but are never instantiated by the runtime here.
+The paper's own experiments are single-node, so its counters all live at
+``locality#0``.  The distributed runtime (:mod:`repro.dist`) instantiates
+real localities: per-locality counters carry a ``locality#N`` prefix and the
+``locality#*`` wildcard addresses all of them at once (see
+:meth:`repro.counters.registry.CounterRegistry.total`).
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 _NAME_RE = re.compile(
     r"""
@@ -63,6 +66,29 @@ class CounterName:
         return self.parent_index is None or (
             self.instance != TOTAL_INSTANCE and self.instance_index is None
         )
+
+    @property
+    def locality(self) -> int | None:
+        """The locality index this name addresses.
+
+        ``None`` for a ``locality#*`` wildcard or when the parent instance is
+        not a locality at all (no such counters exist today, but the grammar
+        permits them).
+        """
+        if self.parent_instance != "locality":
+            return None
+        return self.parent_index
+
+    def with_locality(self, index: int | None) -> "CounterName":
+        """This name re-addressed at ``locality#index``.
+
+        ``None`` produces the ``locality#*`` wildcard form, the query that
+        matches the same counter on every locality — the addressing mode the
+        distributed runtime's aggregation is built on.
+        """
+        if index is not None and index < 0:
+            raise ValueError(f"locality index must be >= 0, got {index}")
+        return replace(self, parent_instance="locality", parent_index=index)
 
     def canonical(self) -> str:
         """The full canonical string form of this name."""

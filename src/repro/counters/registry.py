@@ -57,7 +57,27 @@ class CounterSnapshot:
 
         Raw counts subtract; average counters subtract their (sum, count)
         pairs; gauges keep the later value (a gauge has no meaningful delta).
+
+        Both snapshots must read the *same* counter set — counters live for
+        a runtime's whole lifetime, so differing sets mean the snapshots came
+        from different runtimes (or different registries) and any "interval"
+        between them is meaningless.  Raises :class:`ValueError` naming the
+        offending counters.
         """
+        mine = set(self.values) | set(self.average_pairs)
+        theirs = set(earlier.values) | set(earlier.average_pairs)
+        if mine != theirs:
+            missing = sorted(theirs - mine)
+            extra = sorted(mine - theirs)
+            parts = []
+            if missing:
+                parts.append(f"missing from the later snapshot: {missing}")
+            if extra:
+                parts.append(f"extra in the later snapshot: {extra}")
+            raise ValueError(
+                "cannot subtract snapshots over different counter sets; "
+                + "; ".join(parts)
+            )
         values = dict(self.values)
         for key, old in earlier.values.items():
             if key in values and not key.endswith("@gauge"):
@@ -132,6 +152,31 @@ class CounterRegistry:
         for canonical, parsed in self._parsed.items():
             if query.matches(parsed):
                 yield self._counters[canonical]
+
+    def total(self, pattern: str) -> float:
+        """Sum of every counter matching a possibly wildcarded name.
+
+        The distributed aggregation primitive: with the ``locality#*``
+        wildcard this folds one counter across all localities, e.g.
+        ``total("/parcels{locality#*/total}/count/sent")`` is the
+        system-wide parcel count.  Matching zero counters sums to 0.0.
+        """
+        return sum(c.get_value() for c in self.query(pattern))
+
+    def per_locality(self, pattern: str) -> dict[int, float]:
+        """Locality index → value for counters matching ``pattern``.
+
+        Use with a ``locality#*`` wildcard to discover which localities
+        expose a counter and read them all; several matches on the same
+        locality (e.g. a ``worker-thread#*`` instance wildcard) sum.
+        """
+        query = parse_counter_name(pattern)
+        out: dict[int, float] = {}
+        for canonical, parsed in self._parsed.items():
+            if query.matches(parsed) and parsed.locality is not None:
+                value = self._counters[canonical].get_value()
+                out[parsed.locality] = out.get(parsed.locality, 0.0) + value
+        return dict(sorted(out.items()))
 
     def __contains__(self, name: str) -> bool:
         try:

@@ -1,0 +1,130 @@
+"""AGAS-lite: global ids, the authoritative home table, per-locality caches.
+
+HPX's Active Global Address Space names every first-class object with a
+*global id* (gid) and resolves gid → locality through a distributed service
+whose hot path is a local resolution cache: a hit costs a hash lookup, a
+miss costs a round trip to the AGAS service.  The model here keeps exactly
+the parts that have performance consequences for task placement:
+
+- :class:`AgasService` — the authoritative gid → locality table (one per
+  :class:`repro.dist.DistRuntime`; conceptually hosted on locality 0, as
+  HPX hosts the primary namespace there);
+- :class:`AgasCache` — one per locality; resolution through the cache
+  charges ``hit_ns`` or ``miss_ns`` of virtual time to the caller (the
+  parcelport folds the charge into the parcel's departure delay) and feeds
+  the ``/agas{locality#N/total}`` counters.
+
+Cache semantics (documented contract, covered by tests): the cache is
+**positive-only and never invalidated** — objects in this model do not
+migrate, so a mapping learned once stays valid for the whole run.  The first
+resolution of a gid on a given locality is always a miss (even for gids
+homed on that same locality: the runtime still has to learn that), every
+later resolution is a hit.  Misses therefore count *distinct gids resolved
+per locality*, which is what makes the counter interpretable: for the
+distributed stencil it is exactly the number of neighbour partitions each
+locality ever talks to.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.counters.registry import CounterRegistry
+
+
+@dataclass(frozen=True)
+class GlobalId:
+    """A global name for a long-lived object (e.g. one stencil partition)."""
+
+    gid: int
+    name: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<gid#{self.gid}{label}>"
+
+
+@dataclass(frozen=True)
+class AgasParams:
+    """Resolution costs in virtual nanoseconds."""
+
+    #: local cache hit: a hash lookup on the fast path of every send
+    hit_ns: int = 120
+    #: cache miss: round trip to the AGAS service plus table insertion
+    miss_ns: int = 6_000
+
+    def __post_init__(self) -> None:
+        if self.hit_ns < 0 or self.miss_ns < 0:
+            raise ValueError("AGAS costs must be >= 0")
+
+
+class AgasService:
+    """The authoritative gid → locality mapping for one distributed run."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._home: dict[int, int] = {}
+
+    def register(self, locality: int, name: str = "") -> GlobalId:
+        """Mint a gid homed on ``locality`` (HPX: object construction)."""
+        if locality < 0:
+            raise ValueError(f"locality must be >= 0, got {locality}")
+        gid = GlobalId(next(self._ids), name)
+        self._home[gid.gid] = locality
+        return gid
+
+    def home(self, gid: GlobalId) -> int:
+        """Authoritative resolution; raises for unregistered gids."""
+        try:
+            return self._home[gid.gid]
+        except KeyError:
+            raise KeyError(f"unregistered gid {gid!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._home)
+
+
+class AgasCache:
+    """One locality's resolution cache with hit/miss cost accounting."""
+
+    def __init__(
+        self,
+        service: AgasService,
+        locality: int,
+        registry: CounterRegistry,
+        params: AgasParams | None = None,
+    ) -> None:
+        self.service = service
+        self.locality = locality
+        self.params = params if params is not None else AgasParams()
+        self._cache: dict[int, int] = {}
+        prefix = f"/agas{{locality#{locality}/total}}"
+        self._c_hits = registry.raw(
+            f"{prefix}/count/cache-hits", "gid resolutions served locally"
+        )
+        self._c_misses = registry.raw(
+            f"{prefix}/count/cache-misses",
+            "gid resolutions that went to the AGAS service",
+        )
+        self._c_time = registry.raw(
+            f"{prefix}/time/resolve", "cumulative resolution time (ns)"
+        )
+
+    def resolve(self, gid: GlobalId) -> tuple[int, int]:
+        """Resolve ``gid``; returns ``(home locality, cost_ns)``.
+
+        The caller is responsible for charging ``cost_ns`` to the simulated
+        clock (the parcelport adds it to the parcel's departure delay).
+        """
+        home = self._cache.get(gid.gid)
+        if home is not None:
+            cost = self.params.hit_ns
+            self._c_hits.increment()
+        else:
+            home = self.service.home(gid)
+            self._cache[gid.gid] = home
+            cost = self.params.miss_ns
+            self._c_misses.increment()
+        self._c_time.increment(cost)
+        return home, cost

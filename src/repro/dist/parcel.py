@@ -1,0 +1,196 @@
+"""Parcelport: cross-locality value transfer as discrete events.
+
+An HPX parcel is an active message: destination gid, action, serialized
+arguments.  Here a parcel carries the one thing the distributed task graph
+needs moved — a future's value travelling to the locality that consumes it
+(:meth:`repro.dist.DistRuntime.remote_value` builds the proxy futures).
+
+The lifecycle of one send, all on the shared virtual clock:
+
+1. the source value becomes ready at ``t``;
+2. the sender's parcelport charges AGAS resolution (caller-supplied, see
+   :class:`repro.dist.agas.AgasCache`) and serialization
+   (:meth:`repro.dist.network.NetworkModel.serialization_ns`); the parcel
+   "departs" at ``t + resolve + serialize``;
+3. the wire adds link latency plus size/bandwidth
+   (:meth:`~repro.dist.network.NetworkModel.transfer_ns`);
+4. at delivery the *destination* port books the receive counters and runs
+   the delivery callback — which satisfies a proxy future and thereby
+   spawns/unblocks tasks on the destination's scheduler.
+
+Counters (HPX-style names, registered per locality in the distributed
+registry; catalogued in docs/distributed.md):
+
+- ``/parcels{locality#N/total}/count/sent`` / ``count/received``
+- ``/parcels{locality#N/total}/count/bytes-sent`` / ``count/bytes-received``
+  (wire bytes: payload plus envelope)
+- ``/parcels{locality#N/total}/time/serialization`` — cumulative sender-side
+  encoding time
+- ``/parcels{locality#N/total}/time/network-wait`` — cumulative
+  ready-to-delivered time of parcels this locality *received*; the raw
+  material of figD's network-wait idle component
+- ``/parcels{locality#N/total}/count/queue-depth@gauge`` — parcels this
+  locality has sent that are still in flight
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.counters.registry import CounterRegistry
+from repro.dist.network import NetworkModel
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Parcel:
+    """One in-flight (or delivered) cross-locality message."""
+
+    parcel_id: int
+    source: int
+    destination: int
+    payload: Any
+    payload_bytes: int
+    wire_bytes: int
+    #: when the carried value became ready at the source
+    ready_ns: int
+    #: when the encoded parcel hit the wire
+    departed_ns: int
+    #: filled in at delivery
+    delivered_ns: int | None = None
+    #: True when the payload is an exception being propagated, not a value
+    is_error: bool = field(default=False, kw_only=True)
+
+    @property
+    def in_flight_ns(self) -> int:
+        """Ready-to-delivered time; the consumer-visible network wait."""
+        if self.delivered_ns is None:
+            raise ValueError(f"parcel #{self.parcel_id} not delivered yet")
+        return self.delivered_ns - self.ready_ns
+
+
+class Parcelport:
+    """One locality's send/receive endpoint on the simulated network."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        locality: int,
+        simulator: Simulator,
+        network: NetworkModel,
+        registry: CounterRegistry,
+    ) -> None:
+        self.locality = locality
+        self.sim = simulator
+        self.network = network
+        self._peers: dict[int, "Parcelport"] = {locality: self}
+        self._outgoing_in_flight = 0
+        prefix = f"/parcels{{locality#{locality}/total}}"
+        self._c_sent = registry.raw(f"{prefix}/count/sent", "parcels sent")
+        self._c_received = registry.raw(
+            f"{prefix}/count/received", "parcels received"
+        )
+        self._c_bytes_sent = registry.raw(
+            f"{prefix}/count/bytes-sent", "wire bytes sent"
+        )
+        self._c_bytes_received = registry.raw(
+            f"{prefix}/count/bytes-received", "wire bytes received"
+        )
+        self._c_serialization = registry.raw(
+            f"{prefix}/time/serialization",
+            "cumulative sender-side encoding time (ns)",
+        )
+        self._c_network_wait = registry.raw(
+            f"{prefix}/time/network-wait",
+            "cumulative ready-to-delivered time of received parcels (ns)",
+        )
+        registry.value(
+            f"{prefix}/count/queue-depth@gauge",
+            "sent parcels still in flight",
+            source=lambda: float(self._outgoing_in_flight),
+        )
+
+    def connect(self, ports: dict[int, "Parcelport"]) -> None:
+        """Wire this port to its peers (DistRuntime calls this once)."""
+        self._peers = dict(ports)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(
+        self,
+        destination: int,
+        payload: Any,
+        payload_bytes: int | None,
+        on_delivered: Callable[[Parcel], None],
+        *,
+        resolve_ns: int = 0,
+        is_error: bool = False,
+    ) -> Parcel:
+        """Ship ``payload`` to ``destination``; deliver via callback.
+
+        ``resolve_ns`` is the AGAS charge the caller already computed for
+        this send; it delays departure but is *not* booked as serialization
+        time.  Loopback sends are a protocol error — local values never
+        enter the parcelport (callers short-circuit them), so a loopback
+        here means an ownership-tracking bug worth failing loudly on.
+        """
+        if destination == self.locality:
+            raise ValueError(
+                f"loopback parcel on locality {self.locality}: local values "
+                "must not go through the parcelport"
+            )
+        if destination not in self._peers:
+            raise KeyError(
+                f"locality {self.locality} has no route to {destination}"
+            )
+        if payload_bytes is None:
+            payload_bytes = self.network.params.default_payload_bytes
+        serialize_ns = self.network.serialization_ns(payload_bytes)
+        now = self.sim.now
+        parcel = Parcel(
+            parcel_id=next(Parcelport._ids),
+            source=self.locality,
+            destination=destination,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            wire_bytes=self.network.wire_bytes(payload_bytes),
+            ready_ns=now,
+            departed_ns=now + resolve_ns + serialize_ns,
+            is_error=is_error,
+        )
+        self._c_sent.increment()
+        self._c_bytes_sent.increment(parcel.wire_bytes)
+        self._c_serialization.increment(serialize_ns)
+        self._outgoing_in_flight += 1
+        transfer_ns = self.network.transfer_ns(
+            self.locality, destination, payload_bytes
+        )
+        peer = self._peers[destination]
+        self.sim.schedule(
+            resolve_ns + serialize_ns + transfer_ns,
+            lambda: self._deliver(peer, parcel, on_delivered),
+        )
+        return parcel
+
+    def _deliver(
+        self,
+        peer: "Parcelport",
+        parcel: Parcel,
+        on_delivered: Callable[[Parcel], None],
+    ) -> None:
+        self._outgoing_in_flight -= 1
+        parcel.delivered_ns = self.sim.now
+        peer._c_received.increment()
+        peer._c_bytes_received.increment(parcel.wire_bytes)
+        peer._c_network_wait.increment(parcel.in_flight_ns)
+        on_delivered(parcel)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Parcels sent by this locality that have not yet been delivered."""
+        return self._outgoing_in_flight

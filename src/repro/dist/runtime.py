@@ -1,0 +1,528 @@
+"""DistRuntime: N per-locality runtimes composed over one virtual clock.
+
+The single-node :class:`repro.runtime.Runtime` models one HPX *locality*.
+This facade composes several of them — each with its own scheduler, worker
+pool, cost model and counter registry — over one shared
+:class:`repro.sim.engine.Simulator`, and adds the two services that make a
+multi-locality HPX run different from N independent ones:
+
+- a **parcelport per locality** (:mod:`repro.dist.parcel`) moving future
+  values across locality boundaries on the modelled network
+  (:mod:`repro.dist.network`);
+- an **AGAS-lite resolver** (:mod:`repro.dist.agas`): senders resolve the
+  destination gid through their locality's cache, paying hit/miss costs.
+
+Work is submitted with the same ``async_`` / ``dataflow`` verbs, plus a
+``locality=`` placement argument.  A dataflow may depend on futures owned by
+*other* localities: each such dependency is transparently replaced by a
+local **proxy future** that becomes ready when the carrying parcel is
+delivered (explicitly constructible via :meth:`DistRuntime.remote_value`,
+which is what the distributed stencil's halo exchange uses).
+
+Counters: every locality's runtime keeps its own registry (self-addressed
+as ``locality#0``, exactly as a real HPX locality sees itself).  The
+distributed registry owned by this facade holds the cross-locality view —
+parcel and AGAS counters plus mirrored thread counters — all addressed with
+first-class ``locality#N`` prefixes, so ``locality#*`` wildcard queries
+aggregate across the system (``CounterRegistry.total`` / ``per_locality``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+from repro.counters.registry import CounterRegistry, CounterSnapshot
+from repro.dist.agas import AgasCache, AgasParams, AgasService, GlobalId
+from repro.dist.network import NetworkModel
+from repro.dist.parcel import Parcel, Parcelport
+from repro.runtime.future import Future
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.sim_executor import DeadlockError
+from repro.runtime.task import Priority
+from repro.runtime.work import WorkDescriptor
+from repro.schedulers.base import SchedulingPolicy
+from repro.sim.engine import Simulator
+from repro.sim.platforms import PlatformSpec, get_platform
+
+
+@dataclass(frozen=True)
+class DistConfig:
+    """Configuration of one distributed launch.
+
+    ``seed`` seeds locality 0's cost model directly (so a 1-locality run is
+    bit-identical to a single-node run with the same seed); further
+    localities derive distinct streams from it.
+    """
+
+    num_localities: int = 2
+    platform: str | PlatformSpec = "haswell"
+    cores_per_locality: int = 8
+    scheduler: str | SchedulingPolicy = "priority-local"
+    seed: int = 0
+    #: the transport model; None means the default commodity interconnect
+    network: NetworkModel | None = None
+    agas: AgasParams | None = None
+    timer_counters: bool = True
+    #: per-task management overhead grows with the locality count: every
+    #: thread created in a distributed run additionally touches AGAS credit
+    #: tracking and distributed termination detection (Wu et al. measure
+    #: HPX's per-task cost rising from sub-µs shared-memory figures into
+    #: the µs range across nodes — PAPERS.md).  Each locality's
+    #: ``task_overhead_ns`` is scaled by
+    #: ``1 + frac * log2(num_localities)`` — exactly 1 for one locality, so
+    #: single-node equivalence is untouched; the default reaches 5.5× at
+    #: 8 localities (Haswell: 0.8 µs → 4.4 µs per task).
+    dist_task_overhead_frac: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_localities < 1:
+            raise ValueError(
+                f"num_localities must be >= 1, got {self.num_localities}"
+            )
+        if self.cores_per_locality < 1:
+            raise ValueError(
+                f"cores_per_locality must be >= 1, got {self.cores_per_locality}"
+            )
+        if self.dist_task_overhead_frac < 0:
+            raise ValueError(
+                "dist_task_overhead_frac must be >= 0, got "
+                f"{self.dist_task_overhead_frac}"
+            )
+
+    def resolve_platform(self) -> PlatformSpec:
+        """The per-locality platform, distributed overhead applied."""
+        spec = (
+            self.platform
+            if isinstance(self.platform, PlatformSpec)
+            else get_platform(self.platform)
+        )
+        factor = 1.0 + self.dist_task_overhead_frac * math.log2(
+            self.num_localities
+        )
+        if factor == 1.0:
+            return spec
+        return replace(
+            spec,
+            costs=replace(
+                spec.costs,
+                task_overhead_ns=spec.costs.task_overhead_ns * factor,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class DistRunResult:
+    """Outcome of one completed distributed run.
+
+    ``counters`` is the distributed registry's snapshot (parcels, AGAS,
+    mirrored per-locality thread counters); ``per_locality`` holds each
+    locality's own registry snapshot.  The scalar fields pre-aggregate the
+    quantities figD and the tests consume.
+    """
+
+    execution_time_ns: int
+    counters: CounterSnapshot
+    per_locality: tuple[CounterSnapshot, ...]
+    platform_name: str
+    num_localities: int
+    cores_per_locality: int
+    tasks_executed: int
+    parcels_sent: int
+    parcels_received: int
+    bytes_sent: int
+    serialization_time_ns: int
+    network_wait_ns: int
+    agas_cache_hits: int
+    agas_cache_misses: int
+    #: sum over localities of per-worker task execution time
+    total_exec_ns: int
+    #: sum over localities of per-worker management time
+    total_mgmt_ns: int
+
+    @property
+    def execution_time_s(self) -> float:
+        return self.execution_time_ns / 1e9
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_localities * self.cores_per_locality
+
+    # -- the idle-rate decomposition figD plots ----------------------------
+
+    @property
+    def _budget_ns(self) -> float:
+        return float(self.total_cores * self.execution_time_ns)
+
+    @property
+    def idle_rate(self) -> float:
+        """System-wide Eq. 1: share of the core-time budget not computing."""
+        budget = self._budget_ns
+        if budget <= 0:
+            return 0.0
+        return (budget - self.total_exec_ns) / budget
+
+    @property
+    def overhead_idle_rate(self) -> float:
+        """The idle-rate share attributable to task management."""
+        budget = self._budget_ns
+        return self.total_mgmt_ns / budget if budget > 0 else 0.0
+
+    @property
+    def network_wait_rate(self) -> float:
+        """The idle-rate share attributable to parcels in flight.
+
+        Normalizes the cumulative ready-to-delivered time of all received
+        parcels by the core-time budget: the fraction of the machine's
+        capacity spent with a consumer-side value still on the wire.  The
+        remainder of the idle-rate beyond overhead and network wait is
+        starvation (plus scheduler polling), as on a single node.
+        """
+        budget = self._budget_ns
+        return self.network_wait_ns / budget if budget > 0 else 0.0
+
+
+class Locality:
+    """One simulated node: a Runtime plus its parcelport and AGAS cache."""
+
+    def __init__(
+        self,
+        index: int,
+        runtime: Runtime,
+        parcelport: Parcelport,
+        agas: AgasCache,
+    ) -> None:
+        self.index = index
+        self.runtime = runtime
+        self.parcelport = parcelport
+        self.agas = agas
+
+
+class DistRuntime:
+    """A single-launch multi-locality runtime over one simulated clock."""
+
+    def __init__(self, config: DistConfig | None = None, **kwargs: Any) -> None:
+        if config is None:
+            config = DistConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a DistConfig or keyword arguments")
+        self.config = config
+        self.simulator = Simulator()
+        self.network = (
+            config.network if config.network is not None else NetworkModel()
+        )
+        self.agas = AgasService()
+        #: the distributed (cross-locality) counter registry
+        self.registry = CounterRegistry()
+        self._finish_ns: int | None = None
+        agas_params = config.agas if config.agas is not None else AgasParams()
+        spec = config.resolve_platform()
+
+        self.localities: list[Locality] = []
+        for i in range(config.num_localities):
+            runtime = Runtime(
+                RuntimeConfig(
+                    platform=spec,
+                    num_cores=config.cores_per_locality,
+                    scheduler=config.scheduler,
+                    # Distinct, deterministic jitter stream per locality;
+                    # locality 0 keeps the caller's seed so a 1-locality
+                    # run reproduces the single-node runtime exactly.
+                    seed=config.seed + 0x9E3779B1 * i,
+                    timer_counters=config.timer_counters,
+                ),
+                simulator=self.simulator,
+            )
+            port = Parcelport(i, self.simulator, self.network, self.registry)
+            cache = AgasCache(self.agas, i, self.registry, agas_params)
+            self.localities.append(Locality(i, runtime, port, cache))
+            self._mirror_thread_counters(i, runtime)
+        ports = {loc.index: loc.parcelport for loc in self.localities}
+        for loc in self.localities:
+            loc.parcelport.connect(ports)
+
+        self.platform = self.localities[0].runtime.platform
+        #: future_id -> owning locality, for every future this facade issued
+        self._owner: dict[int, int] = {}
+        #: (future_id, destination, transform) -> proxy future.  The
+        #: transform participates by identity; keying the callable itself
+        #: (not ``id()``) keeps it alive, so a recycled address can never
+        #: alias two different transforms.
+        self._proxies: dict[
+            tuple[int, int, Callable[[Any], Any] | None], Future
+        ] = {}
+        self._ran = False
+
+    def _mirror_thread_counters(self, index: int, runtime: Runtime) -> None:
+        """Re-export a locality's key thread counters at ``locality#N``.
+
+        Each locality's own registry addresses itself as ``locality#0``;
+        the distributed registry presents the true topology so wildcard
+        aggregation and per-locality discovery work across the system.
+        """
+        executor = runtime.executor
+        prefix = f"/threads{{locality#{index}/total}}"
+
+        def exec_ns() -> float:
+            return float(sum(w.exec_ns for w in executor.workers))
+
+        def mgmt_ns() -> float:
+            return float(sum(w.mgmt_ns for w in executor.workers))
+
+        def tasks() -> float:
+            return float(sum(w.tasks_executed for w in executor.workers))
+
+        def wall_ns() -> float:
+            end = (
+                self._finish_ns
+                if self._finish_ns is not None
+                else self.simulator.now
+            )
+            return float(len(executor.workers) * end)
+
+        def idle_rate() -> float:
+            budget = wall_ns()
+            return (budget - exec_ns()) / budget if budget > 0 else 0.0
+
+        reg = self.registry
+        reg.derived(f"{prefix}/time/cumulative", exec_ns,
+                    "per-locality task execution time (ns)")
+        reg.derived(f"{prefix}/time/cumulative-overhead", mgmt_ns,
+                    "per-locality task management time (ns)")
+        reg.derived(f"{prefix}/count/cumulative", tasks,
+                    "per-locality tasks executed")
+        reg.derived(f"{prefix}/idle-rate", idle_rate,
+                    "per-locality Eq. 1 against the global wall clock")
+
+    # -- placement bookkeeping ---------------------------------------------
+
+    def locality(self, index: int) -> Locality:
+        return self.localities[index]
+
+    @property
+    def num_localities(self) -> int:
+        return self.config.num_localities
+
+    def owner_of(self, future: Future) -> int | None:
+        """The locality owning ``future``, or None if it never passed
+        through this facade (caller-made futures are location-free)."""
+        return self._owner.get(future.future_id)
+
+    def register_gid(self, locality: int, name: str = "") -> GlobalId:
+        """Mint an AGAS gid homed on ``locality`` for a long-lived object."""
+        if not 0 <= locality < self.num_localities:
+            raise ValueError(f"locality {locality} outside this runtime")
+        return self.agas.register(locality, name)
+
+    def make_ready_future(
+        self, value: Any, *, locality: int = 0, name: str = ""
+    ) -> Future:
+        """A ready future owned by ``locality`` (initial data placement)."""
+        f = Future(name)
+        f.set_value(value)
+        self._owner[f.future_id] = locality
+        return f
+
+    # -- work submission ----------------------------------------------------
+
+    def async_(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        locality: int = 0,
+        work: WorkDescriptor | None = None,
+        name: str = "",
+        priority: Priority = Priority.NORMAL,
+    ) -> Future:
+        """``hpx::async`` with explicit locality placement."""
+        loc = self.localities[locality]
+        f = loc.runtime.async_(fn, *args, work=work, name=name, priority=priority)
+        self._owner[f.future_id] = locality
+        return f
+
+    def dataflow(
+        self,
+        fn: Callable[..., Any],
+        dependencies: Sequence[Future],
+        *,
+        locality: int = 0,
+        work: WorkDescriptor | None = None,
+        name: str = "",
+        priority: Priority = Priority.NORMAL,
+    ) -> Future:
+        """``hpx::dataflow`` on ``locality``; remote deps become parcels.
+
+        Dependencies owned by another locality are replaced with proxy
+        futures fed by the parcelport (whole-value payloads sized by the
+        network's ``default_payload_bytes``).  Workloads that know their
+        communication pattern should build the proxies themselves with
+        :meth:`remote_value` to control payload size, AGAS keys and
+        sender-side projection — as the distributed stencil does for its
+        halo exchange.
+        """
+        deps = [self._localize(d, locality) for d in dependencies]
+        loc = self.localities[locality]
+        f = loc.runtime.dataflow(fn, deps, work=work, name=name, priority=priority)
+        self._owner[f.future_id] = locality
+        return f
+
+    def _localize(self, dep: Future, destination: int) -> Future:
+        owner = self._owner.get(dep.future_id)
+        if owner is None or owner == destination:
+            return dep
+        return self.remote_value(dep, destination)
+
+    def remote_value(
+        self,
+        future: Future,
+        destination: int,
+        *,
+        payload_bytes: int | None = None,
+        transform: Callable[[Any], Any] | None = None,
+        gid: GlobalId | None = None,
+        name: str = "",
+    ) -> Future:
+        """A proxy on ``destination`` for a future owned elsewhere.
+
+        When the source future becomes ready, its owning locality resolves
+        ``gid`` through its AGAS cache (when given), serializes
+        ``transform(value)`` (default: the value itself) into a parcel of
+        ``payload_bytes``, and ships it; parcel delivery satisfies the
+        returned proxy.  An exceptional source propagates its exception
+        through the parcel, as a real remote action would.
+
+        Proxies are deduplicated per (source future, destination,
+        transform): several consumers on one locality share one parcel.
+        Distinct ``transform`` callables produce distinct parcels even for
+        the same source — a two-partition ring ships both edges of the same
+        neighbour — so pass a stable function (not a fresh lambda per call)
+        when sharing is intended.
+        """
+        owner = self._owner.get(future.future_id)
+        if owner is None:
+            raise ValueError(
+                f"future {future.name!r} has no owning locality; only "
+                "futures issued by this DistRuntime can be shipped"
+            )
+        if owner == destination:
+            return future
+        key = (future.future_id, destination, transform)
+        proxy = self._proxies.get(key)
+        if proxy is not None:
+            return proxy
+        proxy = Future(name or f"{future.name}@loc{destination}")
+        # Keep the analyzer's graph connected across the network hop.
+        proxy.dependencies = (future,)
+        self._owner[proxy.future_id] = destination
+        self._proxies[key] = proxy
+        source = self.localities[owner]
+
+        def ship(ready: Future) -> None:
+            resolve_ns = 0
+            if gid is not None:
+                _, resolve_ns = source.agas.resolve(gid)
+            if ready.has_exception:
+                source.parcelport.send(
+                    destination,
+                    ready.exception,
+                    payload_bytes,
+                    lambda parcel: proxy.set_exception(parcel.payload),
+                    resolve_ns=resolve_ns,
+                    is_error=True,
+                )
+                return
+            value = ready.value if transform is None else transform(ready.value)
+
+            def deliver(parcel: Parcel) -> None:
+                proxy.set_value(parcel.payload)
+
+            source.parcelport.send(
+                destination, value, payload_bytes, deliver,
+                resolve_ns=resolve_ns,
+            )
+
+        future.on_ready(ship)
+        return proxy
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self) -> DistRunResult:
+        """Drive all localities until every task everywhere has terminated."""
+        if self._ran:
+            raise RuntimeError(
+                "DistRuntime instances are single-use; build a new one"
+            )
+        self._ran = True
+        for loc in self.localities:
+            loc.runtime.executor.start_workers()
+        self.simulator.run()
+        stuck = [
+            loc.index
+            for loc in self.localities
+            if loc.runtime.executor.outstanding_tasks > 0
+        ]
+        if stuck:
+            detail = ", ".join(
+                f"locality {i}: "
+                f"{self.localities[i].runtime.executor.outstanding_tasks} "
+                "task(s)"
+                for i in stuck
+            )
+            raise DeadlockError(
+                f"tasks outstanding with an empty event queue ({detail}) — "
+                "suspended on futures (or parcels) nobody satisfies?"
+            )
+        finish = max(
+            [
+                loc.runtime.executor.finish_ns or 0
+                for loc in self.localities
+            ]
+            + [0]
+        )
+        self._finish_ns = finish
+        for loc in self.localities:
+            # Align every locality on the global wall clock so idle-rates
+            # charge end-of-run skew as idleness (HPX: the runtime does not
+            # shut down until every locality reaches the barrier).
+            loc.runtime.executor.finish_ns = finish
+
+        reg = self.registry
+        return DistRunResult(
+            execution_time_ns=finish,
+            counters=reg.snapshot(finish),
+            per_locality=tuple(
+                loc.runtime.registry.snapshot(finish) for loc in self.localities
+            ),
+            platform_name=self.platform.name,
+            num_localities=self.num_localities,
+            cores_per_locality=self.config.cores_per_locality,
+            tasks_executed=sum(
+                loc.runtime.executor.total_spawned for loc in self.localities
+            ),
+            parcels_sent=int(reg.total("/parcels{locality#*/total}/count/sent")),
+            parcels_received=int(
+                reg.total("/parcels{locality#*/total}/count/received")
+            ),
+            bytes_sent=int(
+                reg.total("/parcels{locality#*/total}/count/bytes-sent")
+            ),
+            serialization_time_ns=int(
+                reg.total("/parcels{locality#*/total}/time/serialization")
+            ),
+            network_wait_ns=int(
+                reg.total("/parcels{locality#*/total}/time/network-wait")
+            ),
+            agas_cache_hits=int(
+                reg.total("/agas{locality#*/total}/count/cache-hits")
+            ),
+            agas_cache_misses=int(
+                reg.total("/agas{locality#*/total}/count/cache-misses")
+            ),
+            total_exec_ns=int(
+                reg.total("/threads{locality#*/total}/time/cumulative")
+            ),
+            total_mgmt_ns=int(
+                reg.total("/threads{locality#*/total}/time/cumulative-overhead")
+            ),
+        )

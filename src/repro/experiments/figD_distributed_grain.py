@@ -1,0 +1,199 @@
+"""figD: grain size × locality count on the distributed stencil.
+
+The paper characterizes grain size on one node.  HPX is a distributed
+runtime, and the distributed-memory literature (Task Bench; Wu et al.'s
+Charm++/HPX overhead study — PAPERS.md) adds the second half of the story:
+communication and distributed task management raise the cost of *fine*
+grains, so as localities are added the execution-time U-curve's minimum
+moves toward **coarser** grains, while the coarse end is walled in earlier
+by starvation (fewer partitions per locality must still feed every core).
+
+Each locality panel plots the U-curve plus the idle-rate decomposition the
+distributed counters make possible: total idle (Eq. 1 over all cores and
+the global wall clock), the task-management share, and the network-wait
+share (cumulative parcel ready-to-delivered time over the core-time
+budget).  The summary panel plots the headline claim — best grain vs
+locality count — and the parcel volume behind it.
+
+Shape checks assert, not just plot: the best grain for 8 localities is
+strictly coarser than for 1; every locality's parcels balance
+(Σ sent == Σ received, zero on one locality, 2·L per step otherwise); and
+network wait is only ever incurred where there is a network.
+"""
+
+from __future__ import annotations
+
+from repro.apps.stencil1d_dist import DistStencilConfig, run_dist_stencil
+from repro.core.characterize import default_partition_sweep
+from repro.dist import DistConfig
+from repro.experiments.config import Scale
+from repro.experiments.report import FigureResult, Series
+
+FIGURE_ID = "figD"
+TITLE = "Distributed grain: U-curve vs locality count (simulated Haswell)"
+PAPER_CLAIMS = [
+    "adding localities moves the execution-time minimum to coarser grains "
+    "(Task Bench / Wu et al.: per-task cost rises with node count)",
+    "the idle-rate splits into a task-management share (dominant at fine "
+    "grains, growing with locality count) and a network-wait share (only "
+    "present across localities)",
+    "parcel counters balance: every parcel sent is received, 2 per block "
+    "boundary per time step",
+]
+
+LOCALITIES = (1, 2, 4, 8)
+CORES_PER_LOCALITY = 8
+PLATFORM = "haswell"
+#: full-domain points are pointless here (no partition per locality) and the
+#: coarse cliff is already visible well below this
+COARSEST_GRAIN = 131_072
+
+
+def grain_sweep(scale: Scale) -> list[int]:
+    """figD's grain grid: finer than the generic presets.
+
+    The best-grain shift spans roughly half a decade, so the sweep needs at
+    least 4 points per decade to resolve it; the finest grain is kept at
+    1024 so the fine-grain wall is visible without the finest runs
+    dominating wall time.
+    """
+    finest = max(scale.finest_partition, 1024)
+    per_decade = max(scale.points_per_decade, 4)
+    coarsest = min(COARSEST_GRAIN, scale.total_points // max(LOCALITIES))
+    return [
+        g
+        for g in default_partition_sweep(
+            scale.total_points, finest=finest, points_per_decade=per_decade
+        )
+        if g <= coarsest
+    ]
+
+
+def run(scale: Scale) -> FigureResult:
+    fig = FigureResult(
+        figure_id=FIGURE_ID,
+        title=TITLE,
+        xlabel="partition size (grid points)",
+        ylabel="execution time (s) / idle-rate shares",
+    )
+    steps = scale.time_steps_for(PLATFORM)
+    grains = grain_sweep(scale)
+    fig.notes.append(
+        f"scale={scale.name}; platform={PLATFORM}; "
+        f"{CORES_PER_LOCALITY} cores/locality; {steps} time steps; "
+        "default commodity interconnect and AGAS costs"
+    )
+
+    best_by_locality: list[tuple[float, float]] = []
+    sent_by_locality: list[tuple[float, float]] = []
+    received_by_locality: list[tuple[float, float]] = []
+    for num_localities in LOCALITIES:
+        panel = f"{PLATFORM} {num_localities} localities"
+        times: list[tuple[float, float]] = []
+        idle: list[tuple[float, float]] = []
+        overhead: list[tuple[float, float]] = []
+        netwait: list[tuple[float, float]] = []
+        sent = received = 0
+        for grain in grains:
+            outcome = run_dist_stencil(
+                DistConfig(
+                    num_localities=num_localities,
+                    platform=PLATFORM,
+                    cores_per_locality=CORES_PER_LOCALITY,
+                    seed=0,
+                ),
+                DistStencilConfig(
+                    total_points=scale.total_points,
+                    partition_points=grain,
+                    time_steps=steps,
+                ),
+            )
+            result = outcome.result
+            times.append((grain, result.execution_time_s))
+            idle.append((grain, result.idle_rate))
+            overhead.append((grain, result.overhead_idle_rate))
+            netwait.append((grain, result.network_wait_rate))
+            sent += result.parcels_sent
+            received += result.parcels_received
+        fig.add_series(panel, Series("execution time (s)", times))
+        fig.add_series(panel, Series("idle-rate", idle))
+        fig.add_series(panel, Series("overhead idle", overhead))
+        fig.add_series(panel, Series("network-wait idle", netwait))
+        best_grain = min(times, key=lambda point: point[1])[0]
+        best_by_locality.append((num_localities, best_grain))
+        sent_by_locality.append((num_localities, float(sent)))
+        received_by_locality.append((num_localities, float(received)))
+
+    summary = "summary (x = localities)"
+    fig.add_series(summary, Series("best grain (points)", best_by_locality))
+    fig.add_series(summary, Series("parcels sent", sent_by_locality))
+    fig.add_series(summary, Series("parcels received", received_by_locality))
+    fig.notes.append(
+        "best grain per locality count: "
+        + ", ".join(f"{int(loc)}→{int(g)}" for loc, g in best_by_locality)
+    )
+    return fig
+
+
+def shape_checks(fig: FigureResult) -> list[str]:
+    problems: list[str] = []
+    summary = next(
+        (p for p in fig.panels if p.startswith("summary")), None
+    )
+    if summary is None:
+        return [f"{fig.figure_id}: summary panel missing"]
+    series = {s.label: dict(s.points) for s in fig.panels[summary]}
+    best = series["best grain (points)"]
+    sent = series["parcels sent"]
+    received = series["parcels received"]
+
+    # The headline claim: communication moves the minimum coarser.
+    if best[max(LOCALITIES)] <= best[1]:
+        problems.append(
+            f"{fig.figure_id}: best grain for {max(LOCALITIES)} localities "
+            f"({int(best[max(LOCALITIES)])}) not strictly coarser than for "
+            f"1 locality ({int(best[1])})"
+        )
+    for loc in LOCALITIES[1:]:
+        if best[loc] < best[1]:
+            problems.append(
+                f"{fig.figure_id}: best grain for {loc} localities "
+                f"({int(best[loc])}) finer than for 1 ({int(best[1])})"
+            )
+
+    # Parcel accounting: conservation, and the 2·L-per-step volume.
+    for loc in LOCALITIES:
+        if sent[loc] != received[loc]:
+            problems.append(
+                f"{fig.figure_id}: {loc} localities: parcels sent "
+                f"({int(sent[loc])}) != received ({int(received[loc])})"
+            )
+    if sent[1] != 0:
+        problems.append(
+            f"{fig.figure_id}: 1 locality sent {int(sent[1])} parcels; "
+            "a single node must not touch the network"
+        )
+    for loc in LOCALITIES[1:]:
+        if sent[loc] <= 0:
+            problems.append(
+                f"{fig.figure_id}: {loc} localities sent no parcels"
+            )
+
+    # Network wait only exists where there is a network.
+    for panel, series_list in fig.panels.items():
+        if panel == summary:
+            continue
+        netwait = next(
+            s for s in series_list if s.label == "network-wait idle"
+        )
+        values = [y for _, y in netwait.points]
+        single = panel.endswith(" 1 localities")
+        if single and any(v != 0.0 for v in values):
+            problems.append(
+                f"{fig.figure_id} {panel}: nonzero network-wait idle"
+            )
+        if not single and not any(v > 0.0 for v in values):
+            problems.append(
+                f"{fig.figure_id} {panel}: network-wait idle never positive"
+            )
+    return problems

@@ -120,11 +120,23 @@ class Runtime:
     :func:`repro.runtime.future.dataflow`.
     """
 
-    def __init__(self, config: RuntimeConfig | None = None, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        *,
+        simulator: Simulator | None = None,
+        **kwargs: Any,
+    ) -> None:
         """Build the runtime.
 
         ``kwargs`` are a convenience for ad-hoc construction:
         ``Runtime(platform="haswell", num_cores=8)``.
+
+        ``simulator`` shares an external event loop with this runtime —
+        the mechanism :class:`repro.dist.DistRuntime` uses to drive several
+        localities on one virtual clock.  When sharing a simulator, drive
+        the composite centrally instead of calling :meth:`run` (which drains
+        the *whole* event heap, other tenants' events included).
         """
         if config is None:
             config = RuntimeConfig(**kwargs)
@@ -140,7 +152,7 @@ class Runtime:
             seed=config.seed,
             timer_counters_enabled=config.timer_counters,
         )
-        self.simulator = Simulator()
+        self.simulator = simulator if simulator is not None else Simulator()
         self.policy = config.resolve_scheduler()
         self.executor = SimExecutor(
             self.machine, self.policy, self.cost_model, self.registry,

@@ -125,6 +125,10 @@ class SimExecutor:
         self._active_limit = n
         self._parked: dict[int, _SimWorker] = {}
         self.finish_ns: int | None = None
+        #: set by the first :meth:`start_workers`; gates dormancy restart so
+        #: pre-run spawns do not schedule search events early (which would
+        #: perturb the deterministic event order of existing runs)
+        self._started = False
         self._register_counters()
 
     # -- counters ---------------------------------------------------------------
@@ -235,12 +239,33 @@ class SimExecutor:
             )
         self.policy.enqueue_staged(task, worker)
         self._wake_idle_workers()
+        self._maybe_restart_workers()
 
     def _requeue_resumed(self, task: Task, worker: int) -> None:
         """Suspended → pending (the thread keeps its context)."""
         task.set_state(TaskState.PENDING)
         self.policy.enqueue_pending(task, worker)
         self._wake_idle_workers()
+        self._maybe_restart_workers()
+
+    def _maybe_restart_workers(self) -> None:
+        """Bring a dormant pool back to life when new work appears.
+
+        A single-launch run never needs this: every mid-run spawn happens in
+        a task's completion context (``_current_worker`` is set), so worker
+        wake-up is handled by :meth:`_wake_idle_workers` alone.  Under
+        :class:`repro.dist.DistRuntime`, however, an *external* event — a
+        parcel delivery satisfying a proxy future — can enqueue work on a
+        locality whose workers all went dormant when its first wave of tasks
+        drained.  Dormant workers hold no wake events, so without this hook
+        the new work would sit in the queues forever and the run would be
+        misreported as a deadlock.
+        """
+        if not self._started or self._current_worker is not None:
+            return
+        if self._busy_count > 0 or self._sleepers:
+            return
+        self.start_workers()
 
     def _wake_idle_workers(self) -> None:
         """New work arrived: collapse idle backoffs into an immediate poll.
@@ -495,7 +520,13 @@ class SimExecutor:
     # -- driving -------------------------------------------------------------------
 
     def start_workers(self) -> None:
-        """Schedule every worker's first work-finding attempt at t=0."""
+        """Schedule every worker's first work-finding attempt at t=0.
+
+        Idempotent: busy workers and workers that already hold a wake event
+        are left alone, so it doubles as the dormancy restart used by the
+        distributed runtime (see :meth:`_maybe_restart_workers`).
+        """
+        self._started = True
         for w in self.workers:
             if w.wake_event is None and not w.busy:
                 w.wake_event = self.sim.schedule(

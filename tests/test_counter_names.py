@@ -137,3 +137,51 @@ class TestWellKnown:
             "/threads/time/average-phase-overhead",
         ):
             assert required in WELL_KNOWN_COUNTERS
+
+
+class TestLocalityAddressing:
+    """First-class locality#N prefixes (the repro.dist registry uses them)."""
+
+    def test_locality_property(self):
+        name = parse_counter_name("/parcels{locality#3/total}/count/sent")
+        assert name.locality == 3
+
+    def test_locality_property_default_prefix(self):
+        assert parse_counter_name("/threads/idle-rate").locality == 0
+
+    def test_locality_property_wildcard_is_none(self):
+        name = parse_counter_name("/parcels{locality#*/total}/count/sent")
+        assert name.locality is None
+
+    def test_with_locality_readdresses(self):
+        name = parse_counter_name("/threads/idle-rate").with_locality(5)
+        assert name.locality == 5
+        assert name.canonical() == "/threads{locality#5/total}/idle-rate"
+
+    def test_with_locality_none_is_wildcard(self):
+        name = parse_counter_name("/threads/idle-rate").with_locality(None)
+        assert name.is_wildcard
+        assert name.matches(
+            parse_counter_name("/threads{locality#7/total}/idle-rate")
+        )
+
+    def test_with_locality_rejects_negative(self):
+        with pytest.raises(ValueError):
+            parse_counter_name("/threads/idle-rate").with_locality(-1)
+
+    def test_wildcard_canonical_round_trip(self):
+        text = "/parcels{locality#*/total}/count/bytes-sent"
+        name = parse_counter_name(text)
+        assert name.canonical() == text
+        assert parse_counter_name(name.canonical()) == name
+
+    def test_wildcard_locality_discovery(self):
+        from repro.counters.registry import CounterRegistry
+
+        reg = CounterRegistry()
+        for loc in range(3):
+            reg.raw(f"/parcels{{locality#{loc}/total}}/count/sent")
+        reg.raw("/parcels{locality#1/total}/count/received")
+        assert len(list(reg.query("/parcels{locality#*/total}/count/sent"))) == 3
+        found = reg.per_locality("/parcels{locality#*/total}/count/sent")
+        assert sorted(found) == [0, 1, 2]

@@ -221,3 +221,66 @@ class TestIntervalSampler:
         series = sampler.idle_rate_series()
         assert series[0] == (10, pytest.approx(0.5))
         assert series[1] == (20, pytest.approx(0.1))
+
+
+class TestSnapshotMismatch:
+    def test_delta_over_different_counter_sets_raises(self):
+        reg = CounterRegistry()
+        reg.raw("/a/b").increment(1)
+        first = reg.snapshot(0)
+        reg.raw("/a/c").increment(2)
+        second = reg.snapshot(10)
+        with pytest.raises(ValueError) as excinfo:
+            second.delta(first)
+        # The error must name the offending counters, both directions.
+        message = str(excinfo.value)
+        assert "/a{locality#0/total}/c" in message
+        assert "extra" in message
+
+    def test_delta_names_missing_counters(self):
+        reg_a = CounterRegistry()
+        reg_a.raw("/a/b")
+        reg_a.raw("/a/gone")
+        earlier = reg_a.snapshot(0)
+        reg_b = CounterRegistry()
+        reg_b.raw("/a/b")
+        later = reg_b.snapshot(5)
+        with pytest.raises(ValueError) as excinfo:
+            later.delta(earlier)
+        message = str(excinfo.value)
+        assert "/a{locality#0/total}/gone" in message
+        assert "missing" in message
+
+    def test_matching_sets_still_subtract(self):
+        reg = CounterRegistry()
+        c = reg.raw("/a/b")
+        c.increment(3)
+        first = reg.snapshot(0)
+        c.increment(4)
+        assert reg.snapshot(1).delta(first).get("/a/b") == 4
+
+
+class TestLocalityAggregation:
+    def _registry(self):
+        reg = CounterRegistry()
+        for loc, value in enumerate((5, 7, 11)):
+            reg.raw(f"/parcels{{locality#{loc}/total}}/count/sent").increment(
+                value
+            )
+        reg.raw("/parcels{locality#1/total}/count/received").increment(100)
+        return reg
+
+    def test_total_sums_across_localities(self):
+        reg = self._registry()
+        assert reg.total("/parcels{locality#*/total}/count/sent") == 23
+
+    def test_total_of_nothing_is_zero(self):
+        assert CounterRegistry().total("/x{locality#*/total}/y") == 0.0
+
+    def test_per_locality(self):
+        reg = self._registry()
+        assert reg.per_locality("/parcels{locality#*/total}/count/sent") == {
+            0: 5.0,
+            1: 7.0,
+            2: 11.0,
+        }

@@ -1,0 +1,86 @@
+"""Unit tests for AGAS-lite (repro.dist.agas)."""
+
+import pytest
+
+from repro.counters.registry import CounterRegistry
+from repro.dist.agas import AgasCache, AgasParams, AgasService
+
+
+def make_cache(locality=1, params=None):
+    service = AgasService()
+    registry = CounterRegistry()
+    cache = AgasCache(service, locality, registry, params)
+    return service, registry, cache
+
+
+class TestService:
+    def test_register_and_home(self):
+        service = AgasService()
+        gid = service.register(2, name="partition[0]")
+        assert service.home(gid) == 2
+        assert len(service) == 1
+
+    def test_gids_are_unique(self):
+        service = AgasService()
+        a = service.register(0)
+        b = service.register(0)
+        assert a.gid != b.gid
+
+    def test_unregistered_gid_raises(self):
+        service, _, cache = make_cache()
+        foreign = AgasService().register(0)
+        with pytest.raises(KeyError):
+            cache.resolve(foreign)
+
+    def test_negative_locality_rejected(self):
+        with pytest.raises(ValueError):
+            AgasService().register(-1)
+
+
+class TestCache:
+    def test_first_resolution_is_a_miss_then_hits(self):
+        service, registry, cache = make_cache(
+            params=AgasParams(hit_ns=100, miss_ns=5_000)
+        )
+        gid = service.register(3)
+        assert cache.resolve(gid) == (3, 5_000)
+        assert cache.resolve(gid) == (3, 100)
+        assert cache.resolve(gid) == (3, 100)
+        prefix = "/agas{locality#1/total}"
+        assert registry.get(f"{prefix}/count/cache-misses").get_value() == 1
+        assert registry.get(f"{prefix}/count/cache-hits").get_value() == 2
+        assert registry.get(f"{prefix}/time/resolve").get_value() == 5_200
+
+    def test_local_gid_still_misses_once(self):
+        # Even a gid homed on the resolving locality must be learned once.
+        service, _, cache = make_cache(locality=0)
+        gid = service.register(0)
+        _, first_cost = cache.resolve(gid)
+        _, second_cost = cache.resolve(gid)
+        assert first_cost == cache.params.miss_ns
+        assert second_cost == cache.params.hit_ns
+
+    def test_misses_count_distinct_gids(self):
+        service, registry, cache = make_cache()
+        gids = [service.register(i % 2) for i in range(4)]
+        for gid in gids + gids:
+            cache.resolve(gid)
+        prefix = "/agas{locality#1/total}"
+        assert registry.get(f"{prefix}/count/cache-misses").get_value() == 4
+        assert registry.get(f"{prefix}/count/cache-hits").get_value() == 4
+
+    def test_caches_are_per_locality(self):
+        service = AgasService()
+        registry = CounterRegistry()
+        cache_a = AgasCache(service, 0, registry)
+        cache_b = AgasCache(service, 1, registry)
+        gid = service.register(0)
+        assert cache_a.resolve(gid)[1] == cache_a.params.miss_ns
+        # Locality 1's cache is cold regardless of locality 0's lookups.
+        assert cache_b.resolve(gid)[1] == cache_b.params.miss_ns
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            AgasParams(hit_ns=-1)
+        with pytest.raises(ValueError):
+            AgasParams(miss_ns=-1)

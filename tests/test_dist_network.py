@@ -1,0 +1,109 @@
+"""Unit tests for the parcel network model (repro.dist.network)."""
+
+import pytest
+
+from repro.dist.network import (
+    LinkParams,
+    NetworkModel,
+    NetworkParams,
+    scaled_network,
+)
+
+
+class TestParams:
+    def test_link_defaults_are_commodity_cluster(self):
+        link = LinkParams()
+        assert link.latency_ns == 15_000
+        assert link.bandwidth_bytes_per_ns == 4.0
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            LinkParams(latency_ns=-1)
+        with pytest.raises(ValueError):
+            LinkParams(bandwidth_bytes_per_ns=0.0)
+
+    def test_network_params_validation(self):
+        with pytest.raises(ValueError):
+            NetworkParams(serialization_base_ns=-1)
+        with pytest.raises(ValueError):
+            NetworkParams(default_payload_bytes=0)
+
+
+class TestCostArithmetic:
+    def test_wire_bytes_adds_envelope(self):
+        model = NetworkModel()
+        assert model.wire_bytes(8) == 8 + 512
+
+    def test_serialization_is_base_plus_per_byte(self):
+        model = NetworkModel(
+            NetworkParams(
+                serialization_base_ns=1_000,
+                serialization_ns_per_byte=2.0,
+                parcel_header_bytes=100,
+            )
+        )
+        assert model.serialization_ns(50) == 1_000 + 2 * 150
+
+    def test_transfer_is_latency_plus_size_over_bandwidth(self):
+        model = NetworkModel(
+            NetworkParams(
+                default_link=LinkParams(
+                    latency_ns=10_000, bandwidth_bytes_per_ns=2.0
+                ),
+                parcel_header_bytes=0,
+            )
+        )
+        assert model.transfer_ns(0, 1, 1_000) == 10_000 + 500
+
+    def test_loopback_is_free(self):
+        model = NetworkModel()
+        assert model.transfer_ns(3, 3, 1 << 20) == 0
+
+    def test_zero_network_costs_nothing(self):
+        model = NetworkModel.zero()
+        assert model.serialization_ns(1 << 20) == 0
+        assert model.transfer_ns(0, 1, 1 << 20) == 0
+        assert model.wire_bytes(64) == 64
+
+    def test_with_link_overrides_one_direction(self):
+        slow = LinkParams(latency_ns=1_000_000, bandwidth_bytes_per_ns=0.1)
+        model = NetworkModel().with_link(0, 1, slow)
+        assert model.link(0, 1) is slow
+        # The reverse direction and other pairs keep the default.
+        assert model.link(1, 0) == model.params.default_link
+        assert model.link(2, 3) == model.params.default_link
+
+    def test_with_link_does_not_mutate_original(self):
+        base = NetworkModel()
+        base.with_link(0, 1, LinkParams(latency_ns=1))
+        assert base.link(0, 1) == base.params.default_link
+
+
+class TestScaledNetwork:
+    def test_scales_latency_serialization_and_inverse_bandwidth(self):
+        base = NetworkModel()
+        doubled = scaled_network(base, 2.0)
+        link = doubled.params.default_link
+        assert link.latency_ns == 2 * base.params.default_link.latency_ns
+        assert (
+            link.bandwidth_bytes_per_ns
+            == base.params.default_link.bandwidth_bytes_per_ns / 2
+        )
+        assert (
+            doubled.params.serialization_base_ns
+            == 2 * base.params.serialization_base_ns
+        )
+
+    def test_factor_zero_is_free(self):
+        free = scaled_network(NetworkModel(), 0.0)
+        assert free.transfer_ns(0, 1, 1 << 20) == 0
+        assert free.serialization_ns(1 << 20) == 0
+
+    def test_scales_overridden_links_too(self):
+        base = NetworkModel().with_link(0, 1, LinkParams(latency_ns=100))
+        scaled = scaled_network(base, 3.0)
+        assert scaled.link(0, 1).latency_ns == 300
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_network(NetworkModel(), -1.0)

@@ -23,6 +23,7 @@ EXPECTED_OUTPUT = {
     "dynamic_monitoring.py": "whole run:",
     "schedule_visualization.py": "critical path",
     "parallel_algorithms.py": "auto vs best static",
+    "distributed_stencil.py": "best grain moves coarser",
 }
 
 

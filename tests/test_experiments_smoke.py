@@ -128,7 +128,7 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 15
+        assert len(cli.EXPERIMENT_MODULES) == 16
 
 
 class TestExtensionExperimentsSmoke:
