@@ -1,4 +1,7 @@
 # Convenience targets; each maps to a documented command in README.md.
+#
+# Every target works from a clean checkout: PYTHONPATH=src puts the package
+# on the path without requiring `make install` first.
 
 .PHONY: check install test test-fast lint bench experiments experiments-report clean
 
@@ -9,10 +12,10 @@ install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 test-fast:
-	pytest tests/ -m "not slow"
+	PYTHONPATH=src pytest tests/ -m "not slow"
 
 # Task-graph lint (docs/analysis.md) over everything we ship as example
 # code; CI requires zero findings here.
@@ -20,13 +23,13 @@ lint:
 	PYTHONPATH=src python -m repro.analysis examples src/repro/apps --format text
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
 experiments:
-	repro-experiments all --scale bench --no-plots
+	PYTHONPATH=src python -m repro.experiments.cli all --scale bench --no-plots
 
 experiments-report:
-	repro-experiments all --scale bench --no-plots --markdown EXPERIMENTS.generated.md
+	PYTHONPATH=src python -m repro.experiments.cli all --scale bench --no-plots --markdown EXPERIMENTS.generated.md
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info

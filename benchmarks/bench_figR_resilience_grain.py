@@ -1,0 +1,15 @@
+"""figR: resilience vs grain size under injected parcel faults.
+
+See the module docstring of ``repro.experiments.figR_resilience_grain``
+for the claims (retransmissions scale with 1/grain; per-fault recovery
+cost scales with the grain; faults move the U-curve minimum coarser;
+seed-exact reproducibility and bit-correct results under faults) the
+shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figR_resilience_grain
+
+
+def test_figR_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figR_resilience_grain, bench_scale)

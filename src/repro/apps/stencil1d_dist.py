@@ -47,8 +47,19 @@ class DistStencilConfig:
     heat_coefficient: float = 0.25
     #: compute real NumPy partitions and check against the serial reference
     validate: bool = False
+    #: partition → locality mapping: ``"block"`` (contiguous, 2·L halos per
+    #: step regardless of grain) or ``"cyclic"`` (round-robin: *every*
+    #: adjacent pair of partitions crosses a locality boundary, so the
+    #: cross-network halo count scales with the partition count — the
+    #: communication-heavy regime figR uses to expose per-parcel fault cost)
+    decomposition: str = "block"
 
     def __post_init__(self) -> None:
+        if self.decomposition not in ("block", "cyclic"):
+            raise ValueError(
+                f"decomposition must be 'block' or 'cyclic', "
+                f"got {self.decomposition!r}"
+            )
         if self.total_points < 1:
             raise ValueError("total_points must be >= 1")
         if not 1 <= self.partition_points <= self.total_points:
@@ -74,11 +85,12 @@ class DistStencilConfig:
         return sizes
 
     def owners(self, num_localities: int) -> list[int]:
-        """Block decomposition: partition index → owning locality.
+        """Partition index → owning locality, per ``decomposition``.
 
-        Contiguous blocks, sized as evenly as possible (the first
-        ``num_partitions % L`` localities get one extra partition).
-        Requires at least one partition per locality.
+        ``"block"``: contiguous blocks, sized as evenly as possible (the
+        first ``num_partitions % L`` localities get one extra partition).
+        ``"cyclic"``: partition ``i`` lives on locality ``i % L``.  Both
+        require at least one partition per locality.
         """
         np_count = self.num_partitions
         if np_count < num_localities:
@@ -87,6 +99,8 @@ class DistStencilConfig:
                 "localities; coarsest usable grain is "
                 f"total_points/num_localities"
             )
+        if self.decomposition == "cyclic":
+            return [i % num_localities for i in range(np_count)]
         base, extra = divmod(np_count, num_localities)
         owners: list[int] = []
         for loc in range(num_localities):
@@ -94,10 +108,21 @@ class DistStencilConfig:
         return owners
 
     def cross_halos_per_step(self, num_localities: int) -> int:
-        """Cross-locality halo parcels per time step: 2 per block boundary."""
+        """Cross-locality halo parcels per time step.
+
+        Block decomposition crosses the network only at its 2·L block
+        boundaries; cyclic decomposition crosses at (nearly) every
+        partition boundary, so its count scales with the partition count.
+        Computed exactly: 2 parcels per adjacent-partition pair with
+        distinct owners (one halo in each direction).
+        """
         if num_localities == 1:
             return 0
-        return 2 * num_localities
+        owners = self.owners(num_localities)
+        n = len(owners)
+        return 2 * sum(
+            1 for i in range(n) if owners[i] != owners[(i + 1) % n]
+        )
 
 
 def heat_partition_halo(
@@ -170,6 +195,10 @@ def build_dist_stencil_graph(
             transform=edge,
             gid=gids[consumer_ix],
             name=f"{source.name}->loc{owners[consumer_ix]}",
+            # Under recovery="reexecute", a lost halo re-runs the producing
+            # partition update before re-sending — so recovery cost scales
+            # with the grain, the effect figR measures.
+            recovery_work=StencilWork(points=sizes[source_ix]),
         )
 
     if config.validate:
@@ -226,14 +255,14 @@ def run_dist_stencil(
     """Run the distributed stencil on a fresh :class:`DistRuntime`."""
     dist = DistRuntime(dist_config)
     finals = build_dist_stencil_graph(dist, config)
-    result = dist.run()
+    # wait() re-raises any error a final partition carries (ParcelLostError
+    # from an exhausted halo, LocalityCrashError for a dead producer, the
+    # original exception from a failing task body) instead of hanging or
+    # silently returning partial results.
+    result = dist.wait(finals)
     partitions = None
     if config.validate:
         partitions = [f.value for f in finals]
-    else:
-        unready = sum(1 for f in finals if not f.is_ready)
-        if unready:
-            raise RuntimeError(f"{unready} final partitions never completed")
     return DistStencilOutcome(
         result=result, config=config, final_partitions=partitions
     )

@@ -14,6 +14,10 @@ al.'s Charm++/HPX overhead study — PAPERS.md).  This package adds that axis:
 - :mod:`repro.dist.runtime` — :class:`DistRuntime`, composing N
   single-node runtimes over one simulated clock.
 
+Resilience (fault injection, reliable transport, recovery) layers on top
+via :mod:`repro.faults`; the fault-facing types are re-exported here so
+distributed callers have one import surface.  See docs/resilience.md.
+
 See docs/distributed.md for the model's parameters and counter catalogue,
 ``apps/stencil1d_dist.py`` for the distributed stencil built on it, and
 ``experiments/figD_distributed_grain.py`` for the grain-size × locality
@@ -35,6 +39,16 @@ from repro.dist.runtime import (
     DistRuntime,
     Locality,
 )
+from repro.faults import (
+    CrashAt,
+    FaultPlan,
+    LinkDegradation,
+    LocalityCrashError,
+    ParcelLostError,
+    RetryParams,
+    Straggler,
+    WatchdogTimeout,
+)
 
 __all__ = [
     "AgasCache",
@@ -51,4 +65,12 @@ __all__ = [
     "DistRunResult",
     "DistRuntime",
     "Locality",
+    "CrashAt",
+    "FaultPlan",
+    "LinkDegradation",
+    "LocalityCrashError",
+    "ParcelLostError",
+    "RetryParams",
+    "Straggler",
+    "WatchdogTimeout",
 ]

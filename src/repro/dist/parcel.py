@@ -13,35 +13,81 @@ The lifecycle of one send, all on the shared virtual clock:
    (:meth:`repro.dist.network.NetworkModel.serialization_ns`); the parcel
    "departs" at ``t + resolve + serialize``;
 3. the wire adds link latency plus size/bandwidth
-   (:meth:`~repro.dist.network.NetworkModel.transfer_ns`);
+   (:meth:`~repro.dist.network.NetworkModel.transfer_ns`), scaled by any
+   active :class:`repro.faults.plan.LinkDegradation` window;
 4. at delivery the *destination* port books the receive counters and runs
    the delivery callback — which satisfies a proxy future and thereby
    spawns/unblocks tasks on the destination's scheduler.
 
-Counters (HPX-style names, registered per locality in the distributed
-registry; catalogued in docs/distributed.md):
+Two optional layers sit on that path, both off by default and **exactly
+free when off** (the no-fault, no-retry send schedules the same single
+delivery event it always did):
 
-- ``/parcels{locality#N/total}/count/sent`` / ``count/received``
+- a :class:`repro.faults.plan.FaultInjector` decides, per wire
+  transmission, whether the copy is dropped, duplicated, or slowed by a
+  degradation window;
+- :class:`repro.faults.transport.RetryParams` arms an ack/timeout/
+  retransmit protocol: every delivery is acknowledged over the reverse
+  link, an expired timer retransmits with exponential backoff plus seeded
+  jitter, and an exhausted budget fires the caller's ``on_lost`` hook
+  (propagating :class:`repro.faults.errors.ParcelLostError` into the
+  consuming proxy) instead of hanging.  Receivers discard duplicates by
+  (source, parcel id), so at-least-once transmission still satisfies each
+  single-assignment proxy future exactly once.
+
+Counters (HPX-style names, registered per locality in the distributed
+registry; catalogued in docs/distributed.md and docs/resilience.md):
+
+- ``/parcels{locality#N/total}/count/sent`` / ``count/received`` — logical
+  parcels (a retransmission is not a new send; a duplicate is not a new
+  receive)
 - ``/parcels{locality#N/total}/count/bytes-sent`` / ``count/bytes-received``
-  (wire bytes: payload plus envelope)
+  (wire bytes of the logical payload plus envelope, booked once per parcel)
+- ``/parcels{locality#N/total}/count/dropped`` — wire copies this locality
+  sent that died in transit (injected drops, plus copies arriving at a
+  crashed locality)
+- ``/parcels{locality#N/total}/count/retransmitted`` — extra wire copies
+  this locality sent: retry-timer expiries plus injected duplicates
+- ``/parcels{locality#N/total}/count/duplicates-discarded`` — copies this
+  locality received for an already-delivered parcel
+- ``/parcels{locality#N/total}/count/recovered`` and ``time/recovery`` —
+  parcels re-shipped after producer re-execution, and the cumulative
+  exhaustion-to-redelivery time (booked by the DistRuntime recovery hook)
 - ``/parcels{locality#N/total}/time/serialization`` — cumulative sender-side
-  encoding time
+  encoding time (charged once per logical parcel)
+- ``/parcels{locality#N/total}/time/retry-backoff`` — cumulative time spent
+  waiting on retransmit timers that expired
 - ``/parcels{locality#N/total}/time/network-wait`` — cumulative
   ready-to-delivered time of parcels this locality *received*; the raw
   material of figD's network-wait idle component
-- ``/parcels{locality#N/total}/count/queue-depth@gauge`` — parcels this
+- ``/parcels{locality#N/total}/count/queue-depth@gauge`` — wire copies this
   locality has sent that are still in flight
+
+Conservation: once nothing is in flight, ``sent + retransmitted ==
+received + dropped + duplicates-discarded`` over the whole system (every
+wire copy ends in exactly one of the three fates) — asserted by the figD
+and figR shape checks.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.counters.registry import CounterRegistry
 from repro.dist.network import NetworkModel
-from repro.sim.engine import Simulator
+from repro.faults.plan import FaultInjector, stream_unit
+from repro.faults.transport import RetryParams
+from repro.sim.engine import Event, Simulator
+
+#: role tag for the retransmit-jitter stream (see repro.faults.plan)
+_ROLE_JITTER = 0x33
+
+#: callback type: delivery of a parcel at its destination
+DeliveryFn = Callable[["Parcel"], None]
+#: callback type: retry budget exhausted; args are (parcel, attempts)
+LostFn = Callable[["Parcel", int], None]
 
 
 @dataclass
@@ -70,11 +116,21 @@ class Parcel:
             raise ValueError(f"parcel #{self.parcel_id} not delivered yet")
         return self.delivered_ns - self.ready_ns
 
+    @property
+    def link(self) -> str:
+        """Human-readable link label for diagnostics."""
+        return f"locality {self.source} -> locality {self.destination}"
+
 
 class Parcelport:
-    """One locality's send/receive endpoint on the simulated network."""
+    """One locality's send/receive endpoint on the simulated network.
 
-    _ids = itertools.count(1)
+    ``id_source`` is the parcel-id counter shared by every port of one
+    :class:`repro.dist.DistRuntime` — ids are unique *per runtime* and
+    restart at 1 for each fresh runtime, so receiver-side dedup bookkeeping
+    can never be confused by ids bleeding across independent runtimes (or
+    across tests).  A standalone port builds its own counter.
+    """
 
     def __init__(
         self,
@@ -82,12 +138,29 @@ class Parcelport:
         simulator: Simulator,
         network: NetworkModel,
         registry: CounterRegistry,
+        *,
+        id_source: Iterator[int] | None = None,
+        injector: FaultInjector | None = None,
+        retry: RetryParams | None = None,
+        seed: int = 0,
     ) -> None:
         self.locality = locality
         self.sim = simulator
         self.network = network
+        self._ids = id_source if id_source is not None else itertools.count(1)
+        self._injector = injector
+        self._retry = retry
+        self._seed = seed
         self._peers: dict[int, "Parcelport"] = {locality: self}
         self._outgoing_in_flight = 0
+        self._halted = False
+        #: (source, parcel_id) of every parcel delivered here (dedup)
+        self._delivered: set[tuple[int, int]] = set()
+        #: parcel_id -> (timeout event, parcel, attempt) awaiting an ack
+        self._awaiting: dict[int, tuple[Event, "Parcel", int]] = {}
+        #: parcels this port dropped with no retransmit protocol to save
+        #: them; the DistRuntime deadlock diagnosis names these
+        self._dead_letters: list[Parcel] = []
         prefix = f"/parcels{{locality#{locality}/total}}"
         self._c_sent = registry.raw(f"{prefix}/count/sent", "parcels sent")
         self._c_received = registry.raw(
@@ -99,9 +172,33 @@ class Parcelport:
         self._c_bytes_received = registry.raw(
             f"{prefix}/count/bytes-received", "wire bytes received"
         )
+        self._c_dropped = registry.raw(
+            f"{prefix}/count/dropped",
+            "wire copies sent by this locality that died in transit",
+        )
+        self._c_retransmitted = registry.raw(
+            f"{prefix}/count/retransmitted",
+            "extra wire copies: retry expiries plus injected duplicates",
+        )
+        self._c_duplicates = registry.raw(
+            f"{prefix}/count/duplicates-discarded",
+            "received copies discarded as already delivered",
+        )
+        self._c_recovered = registry.raw(
+            f"{prefix}/count/recovered",
+            "parcels re-shipped after producer re-execution",
+        )
         self._c_serialization = registry.raw(
             f"{prefix}/time/serialization",
             "cumulative sender-side encoding time (ns)",
+        )
+        self._c_backoff = registry.raw(
+            f"{prefix}/time/retry-backoff",
+            "cumulative time spent on expired retransmit timers (ns)",
+        )
+        self._c_recovery = registry.raw(
+            f"{prefix}/time/recovery",
+            "cumulative retry-exhaustion-to-redelivery time (ns)",
         )
         self._c_network_wait = registry.raw(
             f"{prefix}/time/network-wait",
@@ -109,7 +206,7 @@ class Parcelport:
         )
         registry.value(
             f"{prefix}/count/queue-depth@gauge",
-            "sent parcels still in flight",
+            "wire copies sent by this locality still in flight",
             source=lambda: float(self._outgoing_in_flight),
         )
 
@@ -124,18 +221,23 @@ class Parcelport:
         destination: int,
         payload: Any,
         payload_bytes: int | None,
-        on_delivered: Callable[[Parcel], None],
+        on_delivered: DeliveryFn,
         *,
         resolve_ns: int = 0,
         is_error: bool = False,
+        on_lost: LostFn | None = None,
     ) -> Parcel:
         """Ship ``payload`` to ``destination``; deliver via callback.
 
         ``resolve_ns`` is the AGAS charge the caller already computed for
         this send; it delays departure but is *not* booked as serialization
-        time.  Loopback sends are a protocol error — local values never
-        enter the parcelport (callers short-circuit them), so a loopback
-        here means an ownership-tracking bug worth failing loudly on.
+        time.  ``on_lost`` fires instead of ``on_delivered`` when the
+        reliable transport exhausts its retry budget (it is ignored without
+        :class:`RetryParams` — an unreliable drop is recorded as a dead
+        letter for the deadlock diagnosis instead).  Loopback sends are a
+        protocol error — local values never enter the parcelport (callers
+        short-circuit them), so a loopback here means an ownership-tracking
+        bug worth failing loudly on.
         """
         if destination == self.locality:
             raise ValueError(
@@ -151,7 +253,7 @@ class Parcelport:
         serialize_ns = self.network.serialization_ns(payload_bytes)
         now = self.sim.now
         parcel = Parcel(
-            parcel_id=next(Parcelport._ids),
+            parcel_id=next(self._ids),
             source=self.locality,
             destination=destination,
             payload=payload,
@@ -164,33 +266,203 @@ class Parcelport:
         self._c_sent.increment()
         self._c_bytes_sent.increment(parcel.wire_bytes)
         self._c_serialization.increment(serialize_ns)
-        self._outgoing_in_flight += 1
-        transfer_ns = self.network.transfer_ns(
-            self.locality, destination, payload_bytes
-        )
         peer = self._peers[destination]
-        self.sim.schedule(
-            resolve_ns + serialize_ns + transfer_ns,
-            lambda: self._deliver(peer, parcel, on_delivered),
+        self._transmit(
+            peer,
+            parcel,
+            on_delivered,
+            on_lost,
+            attempt=0,
+            head_delay_ns=resolve_ns + serialize_ns,
         )
         return parcel
 
-    def _deliver(
+    def _transfer_ns(self, destination: int, payload_bytes: int) -> int:
+        """Wire time for one copy, degradation windows applied at ``now``."""
+        base = self.network
+        if self._injector is None:
+            return base.transfer_ns(self.locality, destination, payload_bytes)
+        lat_mult, bw_mult = self._injector.link_multipliers(
+            self.locality, destination, self.sim.now
+        )
+        if lat_mult == 1.0 and bw_mult == 1.0:
+            return base.transfer_ns(self.locality, destination, payload_bytes)
+        link = base.link(self.locality, destination)
+        wire = base.wire_bytes(payload_bytes)
+        latency = link.latency_ns * lat_mult
+        if link.bandwidth_bytes_per_ns == float("inf"):
+            return int(latency)
+        return int(latency + wire / (link.bandwidth_bytes_per_ns * bw_mult))
+
+    def _transmit(
         self,
         peer: "Parcelport",
         parcel: Parcel,
-        on_delivered: Callable[[Parcel], None],
+        on_delivered: DeliveryFn,
+        on_lost: LostFn | None,
+        attempt: int,
+        head_delay_ns: int,
+    ) -> None:
+        """Put one wire copy of ``parcel`` on the network (attempt N)."""
+        transfer_ns = self._transfer_ns(peer.locality, parcel.payload_bytes)
+        self._outgoing_in_flight += 1
+        injector = self._injector
+        if injector is not None and injector.drops(parcel.parcel_id, attempt):
+            self.sim.schedule(
+                head_delay_ns + transfer_ns, lambda: self._drop_on_wire(parcel)
+            )
+        else:
+            self.sim.schedule(
+                head_delay_ns + transfer_ns,
+                lambda: self._arrive(peer, parcel, on_delivered),
+            )
+        if injector is not None and injector.duplicates(
+            parcel.parcel_id, attempt
+        ):
+            # A spurious second copy: booked as a retransmission (that is
+            # what it is, accounting-wise) and deduplicated at the receiver.
+            self._c_retransmitted.increment()
+            self._outgoing_in_flight += 1
+            self.sim.schedule(
+                head_delay_ns + transfer_ns,
+                lambda: self._arrive(peer, parcel, on_delivered),
+            )
+        if self._retry is not None:
+            timeout_ns = self._retry.timeout_ns(attempt) + self._jitter_ns(
+                parcel.parcel_id, attempt
+            )
+            event = self.sim.schedule(
+                head_delay_ns + timeout_ns,
+                lambda: self._on_timeout(
+                    peer, parcel, on_delivered, on_lost, attempt, timeout_ns
+                ),
+            )
+            self._awaiting[parcel.parcel_id] = (event, parcel, attempt)
+
+    def _jitter_ns(self, parcel_id: int, attempt: int) -> int:
+        assert self._retry is not None
+        cap = self._retry.max_jitter_ns
+        if cap <= 0:
+            return 0
+        return int(
+            stream_unit(self._seed, _ROLE_JITTER, parcel_id, attempt)
+            * (cap + 1)
+        )
+
+    # -- the wire's three outcomes ------------------------------------------
+
+    def _drop_on_wire(self, parcel: Parcel) -> None:
+        self._outgoing_in_flight -= 1
+        self._c_dropped.increment()
+        if self._retry is None:
+            self._dead_letters.append(parcel)
+
+    def _arrive(
+        self, peer: "Parcelport", parcel: Parcel, on_delivered: DeliveryFn
     ) -> None:
         self._outgoing_in_flight -= 1
+        if peer._halted:
+            # A crashed locality receives nothing; the copy is gone.
+            self._c_dropped.increment()
+            if self._retry is None:
+                self._dead_letters.append(parcel)
+            return
+        key = (parcel.source, parcel.parcel_id)
+        if key in peer._delivered:
+            peer._c_duplicates.increment()
+            if self._retry is not None:
+                # Re-ack: the sender may still be running a retry timer for
+                # a copy whose first ack it has not seen yet.
+                peer._schedule_ack(self, parcel)
+            return
+        peer._delivered.add(key)
         parcel.delivered_ns = self.sim.now
         peer._c_received.increment()
         peer._c_bytes_received.increment(parcel.wire_bytes)
         peer._c_network_wait.increment(parcel.in_flight_ns)
+        if self._retry is not None:
+            peer._schedule_ack(self, parcel)
         on_delivered(parcel)
+
+    # -- the ack / timeout / retransmit protocol ----------------------------
+
+    def _schedule_ack(self, sender: "Parcelport", parcel: Parcel) -> None:
+        """Acknowledge a received copy over the reverse link."""
+        assert self._retry is not None
+        delay = self.network.transfer_ns(
+            self.locality, sender.locality, self._retry.ack_bytes
+        )
+        self.sim.schedule(delay, lambda: sender._on_ack(parcel.parcel_id))
+
+    def _on_ack(self, parcel_id: int) -> None:
+        entry = self._awaiting.pop(parcel_id, None)
+        if entry is not None:
+            entry[0].cancel()
+
+    def _on_timeout(
+        self,
+        peer: "Parcelport",
+        parcel: Parcel,
+        on_delivered: DeliveryFn,
+        on_lost: LostFn | None,
+        attempt: int,
+        timeout_ns: int,
+    ) -> None:
+        assert self._retry is not None
+        self._awaiting.pop(parcel.parcel_id, None)
+        if self._halted:
+            return
+        self._c_backoff.increment(timeout_ns)
+        if attempt >= self._retry.max_retries:
+            attempts = attempt + 1
+            if on_lost is not None:
+                on_lost(parcel, attempts)
+            else:
+                self._dead_letters.append(parcel)
+            return
+        self._c_retransmitted.increment()
+        # Retransmission re-sends the already-encoded buffer: no second
+        # serialization or AGAS charge, just wire time.
+        self._transmit(
+            peer, parcel, on_delivered, on_lost, attempt + 1, head_delay_ns=0
+        )
+
+    # -- recovery bookkeeping (called by DistRuntime's re-execution hook) ---
+
+    def book_recovery(self, elapsed_ns: int) -> None:
+        """Record one successful exhaustion-to-redelivery recovery."""
+        self._c_recovered.increment()
+        self._c_recovery.increment(elapsed_ns)
+
+    # -- crash --------------------------------------------------------------
+
+    def halt(self) -> None:
+        """Fail-stop this port: cancel every retry timer, send nothing more.
+
+        Copies already on the wire still arrive (the bytes had left the
+        node); incoming copies are dropped by :meth:`_arrive` checking the
+        receiver's halted flag.
+        """
+        self._halted = True
+        for event, _parcel, _attempt in self._awaiting.values():
+            event.cancel()
+        self._awaiting.clear()
 
     # -- introspection ------------------------------------------------------
 
     @property
     def in_flight(self) -> int:
-        """Parcels sent by this locality that have not yet been delivered."""
+        """Wire copies sent by this locality not yet delivered or dropped."""
         return self._outgoing_in_flight
+
+    @property
+    def dead_letters(self) -> tuple[Parcel, ...]:
+        """Parcels this port lost with no protocol left to save them."""
+        return tuple(self._dead_letters)
+
+    @property
+    def awaiting_ack(self) -> tuple[tuple[Parcel, int], ...]:
+        """(parcel, attempt) pairs with a live retransmit timer."""
+        return tuple(
+            (parcel, attempt) for _e, parcel, attempt in self._awaiting.values()
+        )

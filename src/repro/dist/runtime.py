@@ -29,6 +29,7 @@ aggregate across the system (``CounterRegistry.total`` / ``per_locality``).
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
@@ -37,6 +38,13 @@ from repro.counters.registry import CounterRegistry, CounterSnapshot
 from repro.dist.agas import AgasCache, AgasParams, AgasService, GlobalId
 from repro.dist.network import NetworkModel
 from repro.dist.parcel import Parcel, Parcelport
+from repro.faults.errors import (
+    LocalityCrashError,
+    ParcelLostError,
+    WatchdogTimeout,
+)
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.transport import RetryParams
 from repro.runtime.future import Future
 from repro.runtime.runtime import Runtime, RuntimeConfig
 from repro.runtime.sim_executor import DeadlockError
@@ -75,6 +83,23 @@ class DistConfig:
     #: single-node equivalence is untouched; the default reaches 5.5× at
     #: 8 localities (Haswell: 0.8 µs → 4.4 µs per task).
     dist_task_overhead_frac: float = 1.5
+    #: what goes wrong during the run; ``None`` (or an inactive plan, e.g.
+    #: ``FaultPlan.none()``) leaves the wire exactly as reliable — and the
+    #: event schedule exactly as bit-identical — as before this layer existed
+    faults: FaultPlan | None = None
+    #: ack/timeout/retransmit protocol; ``None`` is the legacy fire-and-
+    #: forget transport (fine on a perfect wire, starvation under drops)
+    retry: RetryParams | None = None
+    #: what to do when a parcel exhausts its retry budget: ``"none"`` fails
+    #: the consuming proxy with :class:`ParcelLostError`; ``"reexecute"``
+    #: re-runs the producing task (the caller supplies its cost via
+    #: ``remote_value(recovery_work=...)``) and ships a fresh parcel
+    recovery: str = "none"
+    #: re-executions allowed per proxy before giving up
+    max_recoveries: int = 3
+    #: default watchdog deadline for :meth:`DistRuntime.run`/``wait`` (ns of
+    #: virtual time); ``None`` disables the watchdog
+    watchdog_ns: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_localities < 1:
@@ -90,6 +115,33 @@ class DistConfig:
                 "dist_task_overhead_frac must be >= 0, got "
                 f"{self.dist_task_overhead_frac}"
             )
+        if self.recovery not in ("none", "reexecute"):
+            raise ValueError(
+                f"recovery must be 'none' or 'reexecute', got {self.recovery!r}"
+            )
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        if self.watchdog_ns is not None and self.watchdog_ns <= 0:
+            raise ValueError("watchdog_ns must be positive (or None)")
+        if self.recovery == "reexecute" and self.retry is None:
+            raise ValueError(
+                "recovery='reexecute' needs the reliable transport: pass "
+                "retry=RetryParams(...) so loss is detectable"
+            )
+        if self.faults is not None:
+            n = self.num_localities
+            for s in self.faults.stragglers:
+                if s.locality >= n:
+                    raise ValueError(
+                        f"straggler locality {s.locality} outside this "
+                        f"{n}-locality runtime"
+                    )
+            for c in self.faults.crashes:
+                if c.locality >= n:
+                    raise ValueError(
+                        f"crash locality {c.locality} outside this "
+                        f"{n}-locality runtime"
+                    )
 
     def resolve_platform(self) -> PlatformSpec:
         """The per-locality platform, distributed overhead applied."""
@@ -140,6 +192,37 @@ class DistRunResult:
     total_exec_ns: int
     #: sum over localities of per-worker management time
     total_mgmt_ns: int
+    #: -- resilience accounting (all zero on a fault-free reliable run) -----
+    parcels_dropped: int = 0
+    parcels_retransmitted: int = 0
+    duplicates_discarded: int = 0
+    retry_backoff_ns: int = 0
+    parcels_recovered: int = 0
+    recovery_ns: int = 0
+    crashed_localities: tuple[int, ...] = ()
+
+    def assert_parcels_conserved(self) -> None:
+        """Every wire copy must meet exactly one fate.
+
+        ``sent + retransmitted`` counts copies put on the wire;
+        ``received + dropped + duplicates-discarded`` counts copies taken
+        off it.  Once a run has completed the two must match — figD and
+        figR call this as a standing invariant.
+        """
+        on_wire = self.parcels_sent + self.parcels_retransmitted
+        off_wire = (
+            self.parcels_received
+            + self.parcels_dropped
+            + self.duplicates_discarded
+        )
+        if on_wire != off_wire:
+            raise AssertionError(
+                f"parcel conservation violated: {self.parcels_sent} sent + "
+                f"{self.parcels_retransmitted} retransmitted != "
+                f"{self.parcels_received} received + "
+                f"{self.parcels_dropped} dropped + "
+                f"{self.duplicates_discarded} duplicates discarded"
+            )
 
     @property
     def execution_time_s(self) -> float:
@@ -197,6 +280,8 @@ class Locality:
         self.runtime = runtime
         self.parcelport = parcelport
         self.agas = agas
+        #: set when this locality fail-stops (see FaultPlan.crashes)
+        self.crashed = False
 
 
 class DistRuntime:
@@ -218,12 +303,36 @@ class DistRuntime:
         self._finish_ns: int | None = None
         agas_params = config.agas if config.agas is not None else AgasParams()
         spec = config.resolve_platform()
+        #: the fault layer; None whenever the plan cannot perturb the run,
+        #: so FaultPlan.none() takes the exact legacy code path
+        self.injector: FaultInjector | None = None
+        if config.faults is not None and config.faults.is_active:
+            self.injector = FaultInjector(config.faults)
+        #: parcel ids are per-runtime (reset-safe): every port draws from
+        #: this one counter, so ids are unique across the system but two
+        #: independent DistRuntimes never share an id sequence
+        self._parcel_ids = itertools.count(1)
 
         self.localities: list[Locality] = []
         for i in range(config.num_localities):
+            loc_spec = spec
+            if self.injector is not None:
+                factor = self.injector.straggler_factor(i)
+                if factor != 1.0:
+                    # A straggler's every task computes and manages slower.
+                    loc_spec = replace(
+                        spec,
+                        costs=replace(
+                            spec.costs,
+                            per_point_ns=spec.costs.per_point_ns * factor,
+                            task_overhead_ns=(
+                                spec.costs.task_overhead_ns * factor
+                            ),
+                        ),
+                    )
             runtime = Runtime(
                 RuntimeConfig(
-                    platform=spec,
+                    platform=loc_spec,
                     num_cores=config.cores_per_locality,
                     scheduler=config.scheduler,
                     # Distinct, deterministic jitter stream per locality;
@@ -234,7 +343,16 @@ class DistRuntime:
                 ),
                 simulator=self.simulator,
             )
-            port = Parcelport(i, self.simulator, self.network, self.registry)
+            port = Parcelport(
+                i,
+                self.simulator,
+                self.network,
+                self.registry,
+                id_source=self._parcel_ids,
+                injector=self.injector,
+                retry=config.retry,
+                seed=config.seed,
+            )
             cache = AgasCache(self.agas, i, self.registry, agas_params)
             self.localities.append(Locality(i, runtime, port, cache))
             self._mirror_thread_counters(i, runtime)
@@ -252,7 +370,12 @@ class DistRuntime:
         self._proxies: dict[
             tuple[int, int, Callable[[Any], Any] | None], Future
         ] = {}
+        #: proxy key -> producer re-executions already spent on it
+        self._recoveries: dict[
+            tuple[int, int, Callable[[Any], Any] | None], int
+        ] = {}
         self._ran = False
+        self._result: DistRunResult | None = None
 
     def _mirror_thread_counters(self, index: int, runtime: Runtime) -> None:
         """Re-export a locality's key thread counters at ``locality#N``.
@@ -382,6 +505,7 @@ class DistRuntime:
         transform: Callable[[Any], Any] | None = None,
         gid: GlobalId | None = None,
         name: str = "",
+        recovery_work: WorkDescriptor | None = None,
     ) -> Future:
         """A proxy on ``destination`` for a future owned elsewhere.
 
@@ -398,6 +522,12 @@ class DistRuntime:
         the same source — a two-partition ring ships both edges of the same
         neighbour — so pass a stable function (not a fresh lambda per call)
         when sharing is intended.
+
+        Under ``recovery="reexecute"``, ``recovery_work`` is the virtual
+        cost of re-running the producing task when this proxy's parcel
+        exhausts its retry budget (default: a bookkeeping-only task).  The
+        re-executed producer ships a *fresh* parcel; if every recovery
+        fails too, the proxy carries :class:`ParcelLostError`.
         """
         owner = self._owner.get(future.future_id)
         if owner is None:
@@ -418,51 +548,252 @@ class DistRuntime:
         self._proxies[key] = proxy
         source = self.localities[owner]
 
+        def deliver(parcel: Parcel) -> None:
+            # Idempotent: a straggling duplicate delivered after a recovery
+            # (or vice versa) must not double-set the proxy.
+            if not proxy.is_ready:
+                proxy.set_value(parcel.payload)
+
+        def on_lost(parcel: Parcel, attempts: int) -> None:
+            self._parcel_lost(
+                proxy,
+                key,
+                parcel,
+                attempts,
+                source=source,
+                destination=destination,
+                src_future=future,
+                payload_bytes=payload_bytes,
+                transform=transform,
+                gid=gid,
+                recovery_work=recovery_work,
+                deliver=deliver,
+            )
+
         def ship(ready: Future) -> None:
             resolve_ns = 0
             if gid is not None:
                 _, resolve_ns = source.agas.resolve(gid)
             if ready.has_exception:
+
+                def deliver_error(parcel: Parcel) -> None:
+                    if not proxy.is_ready:
+                        proxy.set_exception(parcel.payload)
+
+                def error_lost(parcel: Parcel, attempts: int) -> None:
+                    # The payload *is* the error; losing the parcel must not
+                    # lose the error, so it reaches the consumer directly.
+                    if not proxy.is_ready:
+                        proxy.set_exception(ready.exception)
+
                 source.parcelport.send(
                     destination,
                     ready.exception,
                     payload_bytes,
-                    lambda parcel: proxy.set_exception(parcel.payload),
+                    deliver_error,
                     resolve_ns=resolve_ns,
                     is_error=True,
+                    on_lost=error_lost,
                 )
                 return
             value = ready.value if transform is None else transform(ready.value)
-
-            def deliver(parcel: Parcel) -> None:
-                proxy.set_value(parcel.payload)
-
             source.parcelport.send(
                 destination, value, payload_bytes, deliver,
-                resolve_ns=resolve_ns,
+                resolve_ns=resolve_ns, on_lost=on_lost,
             )
 
         future.on_ready(ship)
         return proxy
 
+    def _parcel_lost(
+        self,
+        proxy: Future,
+        key: tuple[int, int, Callable[[Any], Any] | None],
+        parcel: Parcel,
+        attempts: int,
+        *,
+        source: Locality,
+        destination: int,
+        src_future: Future,
+        payload_bytes: int | None,
+        transform: Callable[[Any], Any] | None,
+        gid: GlobalId | None,
+        recovery_work: WorkDescriptor | None,
+        deliver: Callable[[Parcel], None],
+    ) -> None:
+        """A proxy's parcel exhausted its retry budget; recover or fail."""
+        if proxy.is_ready:
+            return
+        dest = self.localities[destination]
+        used = self._recoveries.get(key, 0)
+        recoverable = (
+            self.config.recovery == "reexecute"
+            and used < self.config.max_recoveries
+            and not source.crashed
+            and not dest.crashed
+        )
+        if not recoverable:
+            if source.crashed or dest.crashed:
+                which = source.index if source.crashed else destination
+                detail = f"locality {which} crashed; no recovery possible"
+            elif self.config.recovery == "reexecute":
+                detail = (
+                    f"recovery budget exhausted "
+                    f"({self.config.max_recoveries} re-execution(s) spent)"
+                )
+            else:
+                detail = "retry budget exhausted and recovery is disabled"
+            proxy.set_exception(
+                ParcelLostError(
+                    parcel.parcel_id,
+                    parcel.source,
+                    parcel.destination,
+                    attempts,
+                    detail=detail,
+                )
+            )
+            return
+        self._recoveries[key] = used + 1
+        lost_at_ns = self.simulator.now
+
+        def reship(_redone: Future) -> None:
+            if proxy.is_ready or source.crashed or dest.crashed:
+                return
+            resolve_ns = 0
+            if gid is not None:
+                _, resolve_ns = source.agas.resolve(gid)
+            value = (
+                src_future.value
+                if transform is None
+                else transform(src_future.value)
+            )
+
+            def deliver_recovered(p: Parcel) -> None:
+                if proxy.is_ready:
+                    return
+                source.parcelport.book_recovery(self.simulator.now - lost_at_ns)
+                proxy.set_value(p.payload)
+
+            def lost_again(p: Parcel, att: int) -> None:
+                self._parcel_lost(
+                    proxy, key, p, att,
+                    source=source, destination=destination,
+                    src_future=src_future, payload_bytes=payload_bytes,
+                    transform=transform, gid=gid,
+                    recovery_work=recovery_work, deliver=deliver,
+                )
+
+            source.parcelport.send(
+                destination, value, payload_bytes, deliver_recovered,
+                resolve_ns=resolve_ns, on_lost=lost_again,
+            )
+
+        # Re-execute the producer on its home locality (charging the
+        # caller-declared task cost), then ship a fresh parcel.
+        redo = source.runtime.async_(
+            lambda: None,
+            work=recovery_work,
+            name=f"recover:{proxy.name}",
+        )
+        redo.on_ready(reship)
+
     # -- driving -------------------------------------------------------------
 
-    def run(self) -> DistRunResult:
-        """Drive all localities until every task everywhere has terminated."""
+    def _crash(self, loc: Locality) -> None:
+        """Fail-stop ``loc`` now: no more tasks, no more parcels."""
+        loc.crashed = True
+        loc.runtime.executor.halt()
+        loc.parcelport.halt()
+
+    def _diagnose(self) -> str:
+        """Name what is (or was) holding the run up, per locality."""
+        parts: list[str] = []
+        for loc in self.localities:
+            bits: list[str] = []
+            if loc.crashed:
+                bits.append("crashed")
+            outstanding = loc.runtime.executor.outstanding_tasks
+            if outstanding:
+                bits.append(f"{outstanding} task(s) outstanding")
+            awaiting = loc.parcelport.awaiting_ack
+            if awaiting:
+                parcel, attempt = max(awaiting, key=lambda pa: pa[1])
+                bits.append(
+                    f"{len(awaiting)} parcel(s) awaiting ack (e.g. parcel "
+                    f"#{parcel.parcel_id} on {parcel.link}, "
+                    f"transmission {attempt + 1})"
+                )
+            dead = loc.parcelport.dead_letters
+            if dead:
+                parcel = dead[0]
+                bits.append(
+                    f"{len(dead)} parcel(s) lost in transit (e.g. parcel "
+                    f"#{parcel.parcel_id} on {parcel.link})"
+                )
+            if bits:
+                parts.append(f"locality {loc.index}: " + ", ".join(bits))
+        return "; ".join(parts) if parts else "no locality reports pending work"
+
+    def run(self, *, watchdog_ns: int | None = None) -> DistRunResult:
+        """Drive all localities until every task everywhere has terminated.
+
+        ``watchdog_ns`` (default: the config's) bounds the run in *virtual*
+        time: if the deadline passes with work still pending, the run stops
+        with a :class:`WatchdogTimeout` whose message names the stuck
+        localities and unacknowledged parcels instead of hanging silently.
+        """
         if self._ran:
             raise RuntimeError(
                 "DistRuntime instances are single-use; build a new one"
             )
         self._ran = True
+        if watchdog_ns is None:
+            watchdog_ns = self.config.watchdog_ns
+        if self.injector is not None:
+            for loc in self.localities:
+                at = self.injector.crash_time(loc.index)
+                if at is not None:
+                    self.simulator.schedule_at(
+                        at, (lambda l: lambda: self._crash(l))(loc)
+                    )
         for loc in self.localities:
             loc.runtime.executor.start_workers()
-        self.simulator.run()
+        if watchdog_ns is not None:
+            self.simulator.run_until(watchdog_ns)
+            unfinished = self.simulator.pending_events() > 0 or any(
+                not loc.crashed and loc.runtime.executor.outstanding_tasks > 0
+                for loc in self.localities
+            )
+            if unfinished:
+                raise WatchdogTimeout(watchdog_ns, self._diagnose())
+        else:
+            self.simulator.run()
         stuck = [
             loc.index
             for loc in self.localities
-            if loc.runtime.executor.outstanding_tasks > 0
+            # A crashed locality's tasks are lost, not stuck: nothing is
+            # waiting to run them, so they are not a deadlock.
+            if not loc.crashed and loc.runtime.executor.outstanding_tasks > 0
         ]
         if stuck:
+            dead = [
+                p
+                for loc in self.localities
+                for p in loc.parcelport.dead_letters
+            ]
+            if dead:
+                first = dead[0]
+                raise ParcelLostError(
+                    first.parcel_id,
+                    first.source,
+                    first.destination,
+                    1,
+                    detail=(
+                        f"{len(dead)} parcel(s) lost in transit left "
+                        f"localities {stuck} starved (unreliable transport; "
+                        "enable retry=RetryParams(...) to retransmit)"
+                    ),
+                )
             detail = ", ".join(
                 f"locality {i}: "
                 f"{self.localities[i].runtime.executor.outstanding_tasks} "
@@ -488,7 +819,11 @@ class DistRuntime:
             loc.runtime.executor.finish_ns = finish
 
         reg = self.registry
-        return DistRunResult(
+
+        def ptotal(tail: str) -> int:
+            return int(reg.total(f"/parcels{{locality#*/total}}/{tail}"))
+
+        result = DistRunResult(
             execution_time_ns=finish,
             counters=reg.snapshot(finish),
             per_locality=tuple(
@@ -525,4 +860,89 @@ class DistRuntime:
             total_mgmt_ns=int(
                 reg.total("/threads{locality#*/total}/time/cumulative-overhead")
             ),
+            parcels_dropped=ptotal("count/dropped"),
+            parcels_retransmitted=ptotal("count/retransmitted"),
+            duplicates_discarded=ptotal("count/duplicates-discarded"),
+            retry_backoff_ns=ptotal("time/retry-backoff"),
+            parcels_recovered=ptotal("count/recovered"),
+            recovery_ns=ptotal("time/recovery"),
+            crashed_localities=tuple(
+                loc.index for loc in self.localities if loc.crashed
+            ),
         )
+        self._result = result
+        return result
+
+    def _crashed_dependency(self, future: Future) -> int | None:
+        """The crashed locality a pending future transitively depends on."""
+        seen: set[int] = set()
+        stack = [future]
+        while stack:
+            f = stack.pop()
+            if f.future_id in seen or f.is_ready:
+                continue
+            seen.add(f.future_id)
+            owner = self._owner.get(f.future_id)
+            if owner is not None and self.localities[owner].crashed:
+                return owner
+            stack.extend(f.dependencies)
+        return None
+
+    def wait(
+        self,
+        futures: Sequence[Future] = (),
+        *,
+        watchdog_ns: int | None = None,
+    ) -> DistRunResult:
+        """Run (if not yet run) and demand that ``futures`` were satisfied.
+
+        The blocking ``.get()`` of this runtime: any future that carries an
+        exception re-raises it here (a proxy whose parcel was lost raises
+        :class:`ParcelLostError`); a future still pending because its
+        producer's locality crashed raises :class:`LocalityCrashError`
+        naming that locality.  Never hangs: a genuinely stuck run already
+        surfaced as :class:`WatchdogTimeout`,
+        :class:`~repro.runtime.sim_executor.DeadlockError` or
+        :class:`ParcelLostError` from :meth:`run`.
+        """
+        result = (
+            self.run(watchdog_ns=watchdog_ns) if not self._ran else self._result
+        )
+        if result is None:
+            raise RuntimeError("the run failed before producing a result")
+        for f in futures:
+            if f.has_exception:
+                f.value  # noqa: B018 - re-raises the stored exception
+            if not f.is_ready:
+                crashed = self._crashed_dependency(f)
+                if crashed is not None:
+                    raise LocalityCrashError(
+                        crashed,
+                        detail=(
+                            f"future {f.name!r} depends on work that died "
+                            "with it and can never become ready"
+                        ),
+                    )
+                dead = [
+                    p
+                    for loc in self.localities
+                    for p in loc.parcelport.dead_letters
+                ]
+                if dead:
+                    first = dead[0]
+                    raise ParcelLostError(
+                        first.parcel_id,
+                        first.source,
+                        first.destination,
+                        1,
+                        detail=(
+                            f"future {f.name!r} starved; {len(dead)} "
+                            "parcel(s) lost on the unreliable transport "
+                            "(enable retry=RetryParams(...) to retransmit)"
+                        ),
+                    )
+                raise DeadlockError(
+                    f"future {f.name!r} is still pending after the run "
+                    "completed — it was never connected to any task"
+                )
+        return result

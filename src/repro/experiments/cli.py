@@ -34,6 +34,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "fig9": "repro.experiments.fig9_pending_queue_haswell",
     "fig10": "repro.experiments.fig10_pending_queue_phi",
     "figD": "repro.experiments.figD_distributed_grain",
+    "figR": "repro.experiments.figR_resilience_grain",
     "selection": "repro.experiments.selection_experiment",
     "tuner": "repro.experiments.tuner_experiment",
     "ablation": "repro.experiments.ablations",

@@ -87,13 +87,16 @@ def run(scale: Scale) -> FigureResult:
     best_by_locality: list[tuple[float, float]] = []
     sent_by_locality: list[tuple[float, float]] = []
     received_by_locality: list[tuple[float, float]] = []
+    dropped_by_locality: list[tuple[float, float]] = []
+    retransmitted_by_locality: list[tuple[float, float]] = []
+    duplicates_by_locality: list[tuple[float, float]] = []
     for num_localities in LOCALITIES:
         panel = f"{PLATFORM} {num_localities} localities"
         times: list[tuple[float, float]] = []
         idle: list[tuple[float, float]] = []
         overhead: list[tuple[float, float]] = []
         netwait: list[tuple[float, float]] = []
-        sent = received = 0
+        sent = received = dropped = retransmitted = duplicates = 0
         for grain in grains:
             outcome = run_dist_stencil(
                 DistConfig(
@@ -115,6 +118,11 @@ def run(scale: Scale) -> FigureResult:
             netwait.append((grain, result.network_wait_rate))
             sent += result.parcels_sent
             received += result.parcels_received
+            dropped += result.parcels_dropped
+            retransmitted += result.parcels_retransmitted
+            duplicates += result.duplicates_discarded
+            # Standing invariant: every wire copy meets exactly one fate.
+            result.assert_parcels_conserved()
         fig.add_series(panel, Series("execution time (s)", times))
         fig.add_series(panel, Series("idle-rate", idle))
         fig.add_series(panel, Series("overhead idle", overhead))
@@ -123,11 +131,23 @@ def run(scale: Scale) -> FigureResult:
         best_by_locality.append((num_localities, best_grain))
         sent_by_locality.append((num_localities, float(sent)))
         received_by_locality.append((num_localities, float(received)))
+        dropped_by_locality.append((num_localities, float(dropped)))
+        retransmitted_by_locality.append(
+            (num_localities, float(retransmitted))
+        )
+        duplicates_by_locality.append((num_localities, float(duplicates)))
 
     summary = "summary (x = localities)"
     fig.add_series(summary, Series("best grain (points)", best_by_locality))
     fig.add_series(summary, Series("parcels sent", sent_by_locality))
     fig.add_series(summary, Series("parcels received", received_by_locality))
+    fig.add_series(summary, Series("parcels dropped", dropped_by_locality))
+    fig.add_series(
+        summary, Series("parcels retransmitted", retransmitted_by_locality)
+    )
+    fig.add_series(
+        summary, Series("duplicates discarded", duplicates_by_locality)
+    )
     fig.notes.append(
         "best grain per locality count: "
         + ", ".join(f"{int(loc)}→{int(g)}" for loc, g in best_by_locality)
@@ -161,12 +181,36 @@ def shape_checks(fig: FigureResult) -> list[str]:
                 f"({int(best[loc])}) finer than for 1 ({int(best[1])})"
             )
 
-    # Parcel accounting: conservation, and the 2·L-per-step volume.
+    # Parcel accounting: conservation, and the 2·L-per-step volume.  This
+    # figure runs with no fault plan, so the resilience counters must all
+    # be exactly zero and the conservation identity collapses to
+    # sent == received.
+    dropped = series["parcels dropped"]
+    retransmitted = series["parcels retransmitted"]
+    duplicates = series["duplicates discarded"]
     for loc in LOCALITIES:
         if sent[loc] != received[loc]:
             problems.append(
                 f"{fig.figure_id}: {loc} localities: parcels sent "
                 f"({int(sent[loc])}) != received ({int(received[loc])})"
+            )
+        for label, values in (
+            ("dropped", dropped),
+            ("retransmitted", retransmitted),
+            ("duplicates discarded", duplicates),
+        ):
+            if values[loc] != 0:
+                problems.append(
+                    f"{fig.figure_id}: {loc} localities: "
+                    f"{int(values[loc])} parcels {label} on a fault-free run"
+                )
+        if sent[loc] + retransmitted[loc] != (
+            received[loc] + dropped[loc] + duplicates[loc]
+        ):
+            problems.append(
+                f"{fig.figure_id}: {loc} localities: wire-copy "
+                "conservation violated (sent + retransmitted != received "
+                "+ dropped + duplicates-discarded)"
             )
     if sent[1] != 0:
         problems.append(

@@ -1,0 +1,56 @@
+"""repro.faults — deterministic fault injection and resilience primitives.
+
+The paper's thesis is that per-task overhead sets the usable grain-size
+region; once work spans localities, per-parcel costs join it — and on real
+clusters those parcels are lost, delayed and duplicated.  This package
+makes the simulated runtime a place where the follow-on question — *how
+does fault-recovery overhead shift the optimal grain size?* — is
+answerable and regression-tested:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` (declarative, seeded fault
+  schedules: drops, duplication, doomed parcels, link-degradation windows,
+  stragglers, crashes) and :class:`FaultInjector` (per-decision answers as
+  a pure function of seed and key, so every schedule is bit-reproducible);
+- :mod:`repro.faults.transport` — :class:`RetryParams`, the
+  ack/timeout/retransmit protocol the parcelport runs in reliable mode;
+- :mod:`repro.faults.errors` — the typed failure modes
+  (:class:`ParcelLostError`, :class:`LocalityCrashError`,
+  :class:`WatchdogTimeout`) that replace silent hangs and generic
+  deadlocks.
+
+See docs/resilience.md for the fault model and counter catalogue,
+``experiments/figR_resilience_grain.py`` for the resilience-vs-grain-size
+experiment, and ``examples/fault_injection.py`` for a quickstart.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    LocalityCrashError,
+    ParcelLostError,
+    WatchdogTimeout,
+)
+from repro.faults.plan import (
+    CrashAt,
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    Straggler,
+    stream_u64,
+    stream_unit,
+)
+from repro.faults.transport import RetryParams
+
+__all__ = [
+    "FaultError",
+    "LocalityCrashError",
+    "ParcelLostError",
+    "WatchdogTimeout",
+    "CrashAt",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "Straggler",
+    "stream_u64",
+    "stream_unit",
+    "RetryParams",
+]

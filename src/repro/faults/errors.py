@@ -1,0 +1,80 @@
+"""Typed failure modes of the resilient distributed runtime.
+
+The pre-resilience runtime had exactly one way to fail:
+:class:`repro.runtime.sim_executor.DeadlockError`, raised when the event
+heap drained with tasks still outstanding.  Under fault injection that is a
+diagnosis-free dead end — a dropped parcel, a crashed locality and a genuine
+dependency cycle all look identical.  These exception types carry the
+*cause*: which parcel, which link, which locality, how many attempts.
+
+All inherit :class:`FaultError` so callers can catch the whole family, and
+``RuntimeError`` so legacy ``except DeadlockError``-adjacent handlers that
+catch broadly keep working.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class of every fault-layer failure."""
+
+
+class ParcelLostError(FaultError):
+    """A parcel could not be delivered within its retry budget.
+
+    Raised (or stored into the consuming proxy future) when either the
+    reliable transport exhausts ``max_retries`` retransmissions, or an
+    unreliable run drops a parcel the simulation then starves on.  The
+    message names the parcel, the link it died on, and both localities —
+    the three things a postmortem needs.
+    """
+
+    def __init__(
+        self,
+        parcel_id: int,
+        source: int,
+        destination: int,
+        attempts: int,
+        *,
+        detail: str = "",
+    ) -> None:
+        self.parcel_id = parcel_id
+        self.source = source
+        self.destination = destination
+        self.attempts = attempts
+        noun = "attempt" if attempts == 1 else "attempts"
+        message = (
+            f"parcel #{parcel_id} lost on link locality {source} -> "
+            f"locality {destination} after {attempts} {noun}"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class LocalityCrashError(FaultError):
+    """A future can never be satisfied because its producer's locality died."""
+
+    def __init__(self, locality: int, *, detail: str = "") -> None:
+        self.locality = locality
+        message = f"locality {locality} crashed"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class WatchdogTimeout(FaultError):
+    """The watchdog deadline passed with the system still not finished.
+
+    Where a silent hang gives no information, the watchdog names what it
+    caught in the act: localities with outstanding tasks, parcels still
+    awaiting acknowledgement, and anything already known to be lost.
+    """
+
+    def __init__(self, deadline_ns: int, diagnosis: str) -> None:
+        self.deadline_ns = deadline_ns
+        self.diagnosis = diagnosis
+        super().__init__(
+            f"watchdog deadline of {deadline_ns} ns passed before the run "
+            f"finished — {diagnosis}"
+        )

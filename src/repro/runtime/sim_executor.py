@@ -125,6 +125,8 @@ class SimExecutor:
         self._active_limit = n
         self._parked: dict[int, _SimWorker] = {}
         self.finish_ns: int | None = None
+        #: fail-stop flag; see :meth:`halt`
+        self._halted = False
         #: set by the first :meth:`start_workers`; gates dormancy restart so
         #: pre-run spawns do not schedule search events early (which would
         #: perturb the deterministic event order of existing runs)
@@ -219,6 +221,9 @@ class SimExecutor:
         continuations stage where the final dependency completed), else
         round-robin for top-level spawns.
         """
+        if self._halted:
+            return  # a dead locality accepts no work; the parcel layer
+            # and the DistRuntime stuck-check account for the loss
         if worker is None:
             worker = self._current_worker
         if worker is None:
@@ -243,6 +248,8 @@ class SimExecutor:
 
     def _requeue_resumed(self, task: Task, worker: int) -> None:
         """Suspended → pending (the thread keeps its context)."""
+        if self._halted:
+            return
         task.set_state(TaskState.PENDING)
         self.policy.enqueue_pending(task, worker)
         self._wake_idle_workers()
@@ -261,7 +268,7 @@ class SimExecutor:
         the new work would sit in the queues forever and the run would be
         misreported as a deadlock.
         """
-        if not self._started or self._current_worker is not None:
+        if self._halted or not self._started or self._current_worker is not None:
             return
         if self._busy_count > 0 or self._sleepers:
             return
@@ -316,6 +323,8 @@ class SimExecutor:
         """One work-finding attempt; runs the policy and dispatches."""
         worker.wake_event = None
         self._sleepers.pop(worker.index, None)
+        if self._halted:
+            return
         if worker.index >= self._active_limit:
             self._parked[worker.index] = worker
             return
@@ -415,6 +424,10 @@ class SimExecutor:
         """A phase's virtual time has elapsed; run its Python side-effects."""
         worker.busy = False
         self._busy_count -= 1
+        if self._halted:
+            # Fail-stop at task granularity: the phase's side-effects are
+            # lost with the machine; nothing downstream is notified.
+            return
         if self.trace is not None:
             self.trace.record_phase(
                 PhaseRecord(
@@ -517,6 +530,24 @@ class SimExecutor:
                 w.wake_event.cancel()
                 w.wake_event = None
 
+    def halt(self) -> None:
+        """Fail-stop this executor: no further dispatch, resume, or spawn.
+
+        Models a locality crash (:class:`repro.faults.plan.CrashAt`) at task
+        granularity: phases whose virtual end time has not yet arrived are
+        discarded when it does, suspended tasks never resume, and queued and
+        newly spawned tasks are dropped.  Outstanding counts are left as-is
+        — the tasks really are unfinished; the distributed runtime's
+        stuck-locality check knows to skip crashed localities.
+        """
+        self._halted = True
+        self._cancel_all_wakeups()
+        self._parked.clear()
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
     # -- driving -------------------------------------------------------------------
 
     def start_workers(self) -> None:
@@ -526,6 +557,8 @@ class SimExecutor:
         are left alone, so it doubles as the dormancy restart used by the
         distributed runtime (see :meth:`_maybe_restart_workers`).
         """
+        if self._halted:
+            return
         self._started = True
         for w in self.workers:
             if w.wake_event is None and not w.busy:

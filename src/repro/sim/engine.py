@@ -41,13 +41,12 @@ class Simulator:
     stops the clock at a deadline (events beyond it stay queued).
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_live")
+    __slots__ = ("now", "_heap", "_seq")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
-        self._live: int = 0
 
     def schedule(self, delay_ns: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay_ns`` after the current time."""
@@ -64,19 +63,21 @@ class Simulator:
         self._seq += 1
         event = Event(time_ns, self._seq, callback)
         heapq.heappush(self._heap, (time_ns, self._seq, event))
-        self._live += 1
         return event
 
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return self._live
+        """Number of not-yet-fired, not-cancelled events.
+
+        Counts by scanning the heap (cancellation is logical, so the queue
+        may hold dead entries); diagnostic use only, not a hot path.
+        """
+        return sum(1 for _t, _s, e in self._heap if not e.cancelled)
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False when the heap is empty."""
         heap = self._heap
         while heap:
             time_ns, _seq, event = heapq.heappop(heap)
-            self._live -= 1
             if event.cancelled:
                 continue
             self.now = time_ns
@@ -93,7 +94,6 @@ class Simulator:
         fired = 0
         while heap:
             time_ns, _seq, event = heapq.heappop(heap)
-            self._live -= 1
             if event.cancelled:
                 continue
             self.now = time_ns
@@ -109,7 +109,6 @@ class Simulator:
         fired = 0
         while heap and heap[0][0] <= deadline_ns:
             time_ns, _seq, event = heapq.heappop(heap)
-            self._live -= 1
             if event.cancelled:
                 continue
             self.now = time_ns

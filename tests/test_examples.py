@@ -24,6 +24,7 @@ EXPECTED_OUTPUT = {
     "schedule_visualization.py": "critical path",
     "parallel_algorithms.py": "auto vs best static",
     "distributed_stencil.py": "best grain moves coarser",
+    "fault_injection.py": "parcel conservation holds",
 }
 
 

@@ -128,7 +128,31 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 16
+        assert len(cli.EXPERIMENT_MODULES) == 17
+
+
+class TestFigRSmoke:
+    """figR (resilience vs grain) runs end-to-end at smoke scale.
+
+    Unlike most figures, figR's shape checks are asserted at smoke scale
+    too: determinism, validation, conservation and the retransmission/
+    recovery scaling hold at any scale by construction, and the grain
+    grid is wide enough for the minimum shift even at smoke.
+    """
+
+    def test_run_and_checks(self):
+        from repro.experiments import figR_resilience_grain as exp
+
+        fig = exp.run(SMOKE)
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems
+        summary = next(p for p in fig.panels if p.startswith("summary"))
+        labels = {s.label for s in fig.panels[summary]}
+        assert "best grain (points)" in labels
+        assert "determinism (1 = bit-identical rerun)" in labels
+        assert "validated (1 = matches serial reference)" in labels
+        # One panel per drop rate plus the summary.
+        assert len(fig.panels) == len(exp.DROP_RATES) + 1
 
 
 class TestExtensionExperimentsSmoke:
