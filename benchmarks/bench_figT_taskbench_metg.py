@@ -1,0 +1,14 @@
+"""figT: Task Bench METG(50%) across dependence patterns.
+
+See the module docstring of ``repro.experiments.figT_taskbench_metg`` for
+the claims (pattern ordering trivial < stencil_1d <= fft; METG monotone in
+core count; the idle-rate rule inside the METG region; bit-identical
+rerun) the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figT_taskbench_metg
+
+
+def test_figT_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figT_taskbench_metg, bench_scale)

@@ -2,7 +2,7 @@
 
 Examples::
 
-    repro-experiments --list
+    repro-experiments list
     repro-experiments fig4 --scale smoke
     repro-experiments all --scale default --markdown EXPERIMENTS.generated.md
 
@@ -35,6 +35,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "fig10": "repro.experiments.fig10_pending_queue_phi",
     "figD": "repro.experiments.figD_distributed_grain",
     "figR": "repro.experiments.figR_resilience_grain",
+    "figT": "repro.experiments.figT_taskbench_metg",
     "selection": "repro.experiments.selection_experiment",
     "tuner": "repro.experiments.tuner_experiment",
     "ablation": "repro.experiments.ablations",
@@ -87,6 +88,15 @@ def experiment_markdown(name: str, fig: FigureResult, problems: list[str]) -> st
     return "\n".join(lines)
 
 
+def list_experiments() -> list[str]:
+    """One line per registered experiment: its name and title."""
+    lines = []
+    for name, module_name in EXPERIMENT_MODULES.items():
+        module = importlib.import_module(module_name)
+        lines.append(f"{name:10s} {module.TITLE}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -95,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment names (see --list) or 'all'",
+        help="experiment names (see 'list') or 'all'",
     )
     parser.add_argument(
         "--scale",
@@ -114,15 +124,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.list:
-        for name, module_name in EXPERIMENT_MODULES.items():
-            module = importlib.import_module(module_name)
-            print(f"{name:10s} {module.TITLE}")
+    if args.list or args.experiments == ["list"]:
+        for line in list_experiments():
+            print(line)
         return 0
 
     names = list(args.experiments)
     if not names:
-        parser.error("no experiments given (try --list or 'all')")
+        parser.error("no experiments given (try 'list' or 'all')")
     if names == ["all"]:
         names = list(EXPERIMENT_MODULES)
 

@@ -1,0 +1,127 @@
+"""Per-task work specs for the task grid.
+
+A kernel answers one question: what :class:`repro.runtime.work.WorkDescriptor`
+does task ``(step, index)`` carry?  Everything downstream — cache residency,
+bandwidth contention, per-platform calibration — is the *existing* cost
+model's business (:mod:`repro.sim.costmodel`), so every platform from
+:mod:`repro.sim.platforms` applies to Task Bench workloads unchanged.
+
+Three kinds:
+
+- :class:`ComputeKernel` — every task is ``task_ns`` of pure compute
+  (:class:`~repro.runtime.work.FixedWork`); the granularity knob METG
+  sweeps;
+- :class:`MemoryKernel` — every task streams a ``points``-sized stencil
+  partition (:class:`~repro.runtime.work.StencilWork`), inheriting the
+  cache-capacity and bandwidth-saturation mechanisms;
+- :class:`ImbalancedKernel` — compute-bound with a seeded multiplicative
+  skew: task ``(step, index)`` runs ``task_ns * (1 + imbalance * u)`` with
+  ``u`` a SplitMix64 draw in ``[0, 1)`` keyed by ``(seed, step, index)`` —
+  reproducible imbalance, the load-balancing stressor.
+
+``with_grain(grain)`` rescales a kernel's granularity (ns of compute, or
+points for the memory kernel): the single knob the METG sweep turns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.faults.plan import stream_unit
+from repro.runtime.work import FixedWork, StencilWork, WorkDescriptor
+
+#: role tag keeping kernel-jitter draws disjoint from pattern/fault draws
+_ROLE_IMBALANCE = 0x7C
+
+
+class KernelSpec:
+    """Base type; subclasses are frozen dataclasses."""
+
+    __slots__ = ()
+
+    def work_for(self, step: int, index: int, seed: int) -> WorkDescriptor:
+        raise NotImplementedError
+
+    def with_grain(self, grain: int) -> "KernelSpec":
+        """The same kernel at a different nominal granularity."""
+        raise NotImplementedError
+
+    def grain(self) -> int:
+        """The nominal granularity knob (ns of compute, or grid points)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class ComputeKernel(KernelSpec):
+    """Every task is ``task_ns`` of pure (jitter-free-nominal) compute."""
+
+    task_ns: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.task_ns < 1:
+            raise ValueError(f"task_ns must be >= 1, got {self.task_ns}")
+
+    def work_for(self, step: int, index: int, seed: int) -> WorkDescriptor:
+        return FixedWork(self.task_ns)
+
+    def with_grain(self, grain: int) -> "ComputeKernel":
+        return replace(self, task_ns=grain)
+
+    def grain(self) -> int:
+        return self.task_ns
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryKernel(KernelSpec):
+    """Every task updates a ``points``-sized stencil partition.
+
+    Duration goes through :meth:`repro.sim.costmodel.CostModel.compute_ns`:
+    it bends with cache residency and stretches under bandwidth
+    oversubscription, exactly as the paper's stencil tasks do.
+    """
+
+    points: int = 4_096
+
+    def __post_init__(self) -> None:
+        if self.points < 1:
+            raise ValueError(f"points must be >= 1, got {self.points}")
+
+    def work_for(self, step: int, index: int, seed: int) -> WorkDescriptor:
+        return StencilWork(points=self.points)
+
+    def with_grain(self, grain: int) -> "MemoryKernel":
+        return replace(self, points=grain)
+
+    def grain(self) -> int:
+        return self.points
+
+
+@dataclass(frozen=True, slots=True)
+class ImbalancedKernel(KernelSpec):
+    """Compute-bound with seeded per-task skew in ``[1, 1 + imbalance)``.
+
+    The mean task is ``task_ns * (1 + imbalance / 2)``; the skew is a pure
+    function of ``(seed, step, index)``, so the imbalance *shape* is part
+    of the workload and survives replays on any runtime or platform.
+    """
+
+    task_ns: int = 2_000
+    imbalance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.task_ns < 1:
+            raise ValueError(f"task_ns must be >= 1, got {self.task_ns}")
+        if self.imbalance < 0.0:
+            raise ValueError(
+                f"imbalance must be >= 0, got {self.imbalance}"
+            )
+
+    def work_for(self, step: int, index: int, seed: int) -> WorkDescriptor:
+        u = stream_unit(seed, _ROLE_IMBALANCE, step, index)
+        return FixedWork(max(1, int(self.task_ns * (1.0 + self.imbalance * u))))
+
+    def with_grain(self, grain: int) -> "ImbalancedKernel":
+        return replace(self, task_ns=grain)
+
+    def grain(self) -> int:
+        return self.task_ns

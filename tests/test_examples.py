@@ -25,6 +25,7 @@ EXPECTED_OUTPUT = {
     "parallel_algorithms.py": "auto vs best static",
     "distributed_stencil.py": "best grain moves coarser",
     "fault_injection.py": "parcel conservation holds",
+    "taskbench_patterns.py": "the dependence-free pattern tolerates",
 }
 
 

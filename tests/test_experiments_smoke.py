@@ -128,7 +128,17 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 17
+        assert len(cli.EXPERIMENT_MODULES) == 18
+
+    def test_list_subcommand(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("figT", "figD", "figR"):
+            assert figure in out
+        # One line per experiment: name plus its one-line title.
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(cli.EXPERIMENT_MODULES)
+        assert any("METG" in line for line in lines)
 
 
 class TestFigRSmoke:
@@ -153,6 +163,29 @@ class TestFigRSmoke:
         assert "validated (1 = matches serial reference)" in labels
         # One panel per drop rate plus the summary.
         assert len(fig.panels) == len(exp.DROP_RATES) + 1
+
+
+class TestFigTSmoke:
+    """figT (Task Bench METG) runs end-to-end at smoke scale.
+
+    Like figR, figT asserts its shape checks at smoke scale too: the
+    pattern ordering, METG monotonicity, selection-rule containment and
+    determinism are all properties of the simulator, not of sweep density,
+    and the smoke grid (64x8, 2 grains/decade) resolves them.
+    """
+
+    def test_run_and_checks(self):
+        from repro.experiments import figT_taskbench_metg as exp
+
+        fig = exp.run(SMOKE)
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems
+        labels = {s.label for s in fig.panels["summary"]}
+        assert "METG(50%) by pattern (x = catalogue index)" in labels
+        assert "METG(50%) vs cores (stencil_1d)" in labels
+        assert "bit-identical rerun (1 = yes)" in labels
+        curves = fig.panels[f"efficiency vs grain ({exp.CORES} cores)"]
+        assert {s.label for s in curves} == set(exp.METG_PATTERNS)
 
 
 class TestExtensionExperimentsSmoke:

@@ -1,0 +1,173 @@
+"""The Task Bench driver lowers every pattern onto every runtime."""
+
+import pytest
+
+from repro.dist.runtime import DistConfig
+from repro.runtime.runtime import RuntimeConfig
+from repro.taskbench.driver import (
+    make_placement,
+    run_taskbench,
+    run_taskbench_dist,
+    run_taskbench_threads,
+    taskbench_run_fn,
+)
+from repro.taskbench.kernels import (
+    ComputeKernel,
+    ImbalancedKernel,
+    MemoryKernel,
+)
+from repro.taskbench.patterns import PATTERNS, TaskBenchSpec
+
+CONFIG = RuntimeConfig(
+    platform="haswell", num_cores=4, scheduler="priority-local", seed=0
+)
+
+
+def spec_for(name: str, **kwargs) -> TaskBenchSpec:
+    kwargs.setdefault("width", 8)  # power of two: valid for every pattern
+    kwargs.setdefault("steps", 4)
+    return TaskBenchSpec(pattern=name, **kwargs)
+
+
+class TestSimulatedRuntime:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_every_pattern_executes_the_whole_grid(self, name):
+        spec = spec_for(name)
+        result = run_taskbench(CONFIG, spec)
+        assert result.tasks_executed == spec.total_tasks
+        assert result.execution_time_ns > 0
+        assert 0.0 <= result.idle_rate <= 1.0
+
+    def test_bit_reproducible_for_fixed_seed(self):
+        spec = spec_for("random_nearest", seed=7)
+        a = run_taskbench(CONFIG, spec)
+        b = run_taskbench(CONFIG, spec)
+        assert a.execution_time_ns == b.execution_time_ns
+        assert a.counters == b.counters
+
+    def test_dependencies_serialize_the_chain(self):
+        """One serial column cannot finish faster than its tasks' sum."""
+        spec = TaskBenchSpec(
+            pattern="serial_chain", width=1, steps=16,
+            kernel=ComputeKernel(10_000),
+        )
+        result = run_taskbench(CONFIG, spec)
+        assert result.execution_time_ns >= 16 * 10_000
+
+    def test_trivial_runs_wide_open(self):
+        """Independent tasks finish far sooner than their serialized sum."""
+        spec = TaskBenchSpec(
+            pattern="trivial", width=16, steps=4, kernel=ComputeKernel(50_000)
+        )
+        result = run_taskbench(CONFIG, spec)
+        assert result.execution_time_ns < 64 * 50_000
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [ComputeKernel(1_500), MemoryKernel(2_048),
+         ImbalancedKernel(1_500, imbalance=2.0)],
+        ids=["compute", "memory", "imbalanced"],
+    )
+    def test_every_kernel_kind_runs(self, kernel):
+        spec = spec_for("stencil_1d", kernel=kernel)
+        result = run_taskbench(CONFIG, spec)
+        assert result.tasks_executed == spec.total_tasks
+
+    def test_run_fn_protocol(self):
+        run_fn = taskbench_run_fn(spec_for("stencil_1d"))
+        result = run_fn(CONFIG, 5_000)
+        assert result.tasks_executed == 32
+        # the grain knob actually reached the kernel
+        finer = run_fn(CONFIG, 500)
+        assert finer.execution_time_ns < result.execution_time_ns
+
+
+class TestImbalancedKernel:
+    def test_skew_is_seeded_and_bounded(self):
+        kernel = ImbalancedKernel(task_ns=1_000, imbalance=1.0)
+        for step in range(4):
+            for i in range(8):
+                work = kernel.work_for(step, i, seed=5)
+                again = kernel.work_for(step, i, seed=5)
+                assert work == again
+                assert 1_000 <= work.ns < 2_000
+
+    def test_different_tasks_get_different_skew(self):
+        kernel = ImbalancedKernel(task_ns=1_000, imbalance=1.0)
+        durations = {kernel.work_for(0, i, seed=5).ns for i in range(16)}
+        assert len(durations) > 1
+
+
+class TestThreadRuntime:
+    def test_stencil_on_real_threads(self):
+        spec = spec_for("stencil_1d")
+        assert run_taskbench_threads(spec, num_workers=2) == spec.total_tasks
+
+    def test_fft_on_real_threads(self):
+        spec = spec_for("fft")
+        assert run_taskbench_threads(spec, num_workers=2) == spec.total_tasks
+
+
+class TestDistRuntime:
+    def dist_config(self, localities: int) -> DistConfig:
+        return DistConfig(
+            num_localities=localities,
+            platform="haswell",
+            cores_per_locality=2,
+            scheduler="priority-local",
+            seed=0,
+        )
+
+    @pytest.mark.parametrize("placement", ["block", "cyclic"])
+    def test_stencil_across_localities(self, placement):
+        spec = spec_for("stencil_1d")
+        result = run_taskbench_dist(
+            self.dist_config(4), spec, placement=placement
+        )
+        result.assert_parcels_conserved()
+        assert result.parcels_sent > 0
+        assert result.parcels_received == result.parcels_sent
+        assert 0.0 <= result.idle_rate <= 1.0
+
+    def test_cyclic_ships_more_than_block(self):
+        """Block placement keeps neighbour edges local except at block
+        boundaries; cyclic placement makes every one of them cross."""
+        spec = spec_for("stencil_1d", width=16)
+        block = run_taskbench_dist(self.dist_config(4), spec, placement="block")
+        cyclic = run_taskbench_dist(
+            self.dist_config(4), spec, placement="cyclic"
+        )
+        assert cyclic.parcels_sent > block.parcels_sent
+
+    def test_single_locality_never_touches_the_network(self):
+        result = run_taskbench_dist(self.dist_config(1), spec_for("stencil_1d"))
+        assert result.parcels_sent == 0
+
+    def test_trivial_pattern_ships_nothing(self):
+        result = run_taskbench_dist(self.dist_config(4), spec_for("trivial"))
+        assert result.parcels_sent == 0
+
+    def test_dist_bit_reproducible(self):
+        spec = spec_for("fft", seed=3)
+        a = run_taskbench_dist(self.dist_config(2), spec)
+        b = run_taskbench_dist(self.dist_config(2), spec)
+        assert a.execution_time_ns == b.execution_time_ns
+        assert a.parcels_sent == b.parcels_sent
+
+
+class TestPlacement:
+    def test_block_is_contiguous_and_balanced(self):
+        place = make_placement("block", 8, 2)
+        assert [place(i) for i in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_cyclic_round_robins(self):
+        place = make_placement("cyclic", 8, 2)
+        assert [place(i) for i in range(8)] == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            make_placement("hilbert", 8, 2)
+
+    def test_more_localities_than_columns_rejected(self):
+        with pytest.raises(ValueError, match="localities"):
+            make_placement("block", 2, 4)

@@ -1,0 +1,171 @@
+"""Property tests (hypothesis) over the Task Bench pattern catalogue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taskbench.kernels import ComputeKernel
+from repro.taskbench.patterns import (
+    NEAREST_DRAWS,
+    NEAREST_RADIUS,
+    PATTERNS,
+    TaskBenchSpec,
+    get_pattern,
+)
+
+pattern_names = st.sampled_from(sorted(PATTERNS))
+#: powers of two cover every pattern including the butterfly
+pow2_widths = st.integers(min_value=0, max_value=6).map(lambda k: 1 << k)
+free_widths = st.integers(min_value=1, max_value=64)
+steps_st = st.integers(min_value=1, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def make_spec(name, width, steps, seed):
+    pattern = get_pattern(name)
+    if pattern.requires_pow2_width and width & (width - 1):
+        width = 1 << width.bit_length()
+    return TaskBenchSpec(pattern=name, width=width, steps=steps, seed=seed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern_names, free_widths, steps_st, seeds)
+def test_graphs_are_acyclic_by_construction(name, width, steps, seed):
+    """Every edge points from step s-1 to step s: topological by step, so
+    no cycle can exist; and every endpoint is inside the grid."""
+    spec = make_spec(name, width, steps, seed)
+    for (ps, pi), (cs, ci) in spec.edges():
+        assert cs == ps + 1
+        assert 0 <= ps < spec.steps - 1
+        assert 0 <= pi < spec.width
+        assert 0 <= ci < spec.width
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern_names, free_widths, steps_st, seeds)
+def test_dependencies_sorted_unique_and_bounded(name, width, steps, seed):
+    spec = make_spec(name, width, steps, seed)
+    pattern = spec.resolve_pattern()
+    for step in range(spec.steps):
+        for i in range(spec.width):
+            deps = spec.dependencies(step, i)
+            assert list(deps) == sorted(set(deps))
+            assert len(deps) <= pattern.max_deps or step == 0
+            if step == 0:
+                assert deps == ()
+            elif pattern.max_deps > 0:
+                assert deps, f"{name} task ({step},{i}) has no parents"
+
+
+@settings(max_examples=40, deadline=None)
+@given(free_widths, steps_st, seeds)
+def test_exact_edge_counts(width, steps, seed):
+    """Closed-form edge counts for the deterministic fixed-degree patterns."""
+    rows = steps - 1
+    expected = {
+        "trivial": 0,
+        "serial_chain": rows * width,
+        "stencil_1d": rows * (3 * width - 2),
+        "stencil_1d_periodic": rows * width * min(width, 3),
+        "spread": rows * width * min(width, 3),
+    }
+    for name, count in expected.items():
+        spec = TaskBenchSpec(pattern=name, width=width, steps=steps, seed=seed)
+        assert spec.edge_count() == count, name
+
+
+@settings(max_examples=40, deadline=None)
+@given(pow2_widths, steps_st, seeds)
+def test_fft_edge_count(width, steps, seed):
+    spec = TaskBenchSpec(pattern="fft", width=width, steps=steps, seed=seed)
+    per_task = 2 if width > 1 else 1
+    assert spec.edge_count() == (steps - 1) * width * per_task
+
+
+@settings(max_examples=40, deadline=None)
+@given(free_widths, steps_st, seeds)
+def test_tree_and_random_nearest_edge_bounds(width, steps, seed):
+    rows = steps - 1
+    tree = TaskBenchSpec(pattern="tree", width=width, steps=steps, seed=seed)
+    assert rows * width <= tree.edge_count() <= rows * width * 2
+    near = TaskBenchSpec(
+        pattern="random_nearest", width=width, steps=steps, seed=seed
+    )
+    assert rows * width <= near.edge_count() <= rows * width * (
+        NEAREST_DRAWS + 1
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(free_widths, steps_st, seeds)
+def test_random_nearest_same_seed_same_edges(width, steps, seed):
+    a = TaskBenchSpec(
+        pattern="random_nearest", width=width, steps=steps, seed=seed
+    )
+    b = TaskBenchSpec(
+        pattern="random_nearest", width=width, steps=steps, seed=seed
+    )
+    assert set(a.edges()) == set(b.edges())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=8, max_value=64), steps_st, seeds)
+def test_random_nearest_stays_near(width, steps, seed):
+    """Drawn neighbours sit within NEAREST_RADIUS (mod width)."""
+    spec = TaskBenchSpec(
+        pattern="random_nearest", width=width, steps=steps, seed=seed
+    )
+    for step in range(1, spec.steps):
+        for i in range(spec.width):
+            for parent in spec.dependencies(step, i):
+                distance = min((parent - i) % width, (i - parent) % width)
+                assert distance <= NEAREST_RADIUS
+
+
+def test_random_nearest_seed_changes_edges():
+    a = TaskBenchSpec(pattern="random_nearest", width=32, steps=8, seed=1)
+    b = TaskBenchSpec(pattern="random_nearest", width=32, steps=8, seed=2)
+    assert set(a.edges()) != set(b.edges())
+
+
+class TestValidation:
+    def test_fft_rejects_non_pow2_width(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            TaskBenchSpec(pattern="fft", width=48)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError, match="width"):
+            TaskBenchSpec(pattern="trivial", width=0)
+
+    def test_steps_must_be_positive(self):
+        with pytest.raises(ValueError, match="steps"):
+            TaskBenchSpec(pattern="trivial", steps=0)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError, match="unknown pattern"):
+            get_pattern("moebius")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError, match="outside width"):
+            get_pattern("stencil_1d").dependencies(8, 1, 8)
+
+
+class TestSpec:
+    def test_total_tasks(self):
+        spec = TaskBenchSpec(pattern="trivial", width=5, steps=7)
+        assert spec.total_tasks == 35
+
+    def test_with_grain_changes_only_the_kernel(self):
+        spec = TaskBenchSpec(
+            pattern="stencil_1d", width=8, steps=4,
+            kernel=ComputeKernel(1_000), seed=3,
+        )
+        coarser = spec.with_grain(9_000)
+        assert coarser.kernel.grain() == 9_000
+        assert (coarser.pattern_name, coarser.width, coarser.steps,
+                coarser.seed) == ("stencil_1d", 8, 4, 3)
+        assert set(coarser.edges()) == set(spec.edges())
+
+    def test_pattern_object_accepted_directly(self):
+        spec = TaskBenchSpec(pattern=get_pattern("tree"), width=8, steps=4)
+        assert spec.pattern_name == "tree"
