@@ -1,0 +1,16 @@
+"""figO: overload control under an open-loop offered-load sweep.
+
+See the module docstring of ``repro.experiments.figO_overload`` for the
+claims (bounded admission keeps goodput at a plateau while the unbounded
+baseline's completion time diverges; credit windows bound in-flight
+parcels; breakers cap retransmission storms; the governor coarsens grain
+until goodput plateaus; everything bit-reproducible and conserving) the
+shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figO_overload
+
+
+def test_figO_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figO_overload, bench_scale)

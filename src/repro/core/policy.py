@@ -188,6 +188,11 @@ class PolicyEngine:
 
     def add_policy(self, policy: Policy) -> "PolicyEngine":
         self.policies.append(policy)
+        # Policies may export their own counters (e.g. the overload
+        # governor's /overload/count/governor-actions).
+        register = getattr(policy, "register_counters", None)
+        if register is not None:
+            register(self.runtime.registry)
         return self
 
     def run(self) -> RunResult:

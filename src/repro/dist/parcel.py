@@ -62,16 +62,40 @@ registry; catalogued in docs/distributed.md and docs/resilience.md):
   material of figD's network-wait idle component
 - ``/parcels{locality#N/total}/count/queue-depth@gauge`` — wire copies this
   locality has sent that are still in flight
+- ``/parcels{locality#N/total}/count/dead-letters-dropped`` — dead letters
+  evicted from the bounded ring (oldest first) once it filled
+
+Two further opt-in layers (:mod:`repro.overload`) gate the send path, and
+register an ``/overload{locality#N/total}`` counter family when enabled
+(catalogued in docs/overload.md):
+
+- **credit-based flow control** (:class:`repro.overload.config.
+  CreditParams`): at most ``window`` distinct unacked parcels per
+  destination; further sends park in a per-destination waiting lane until
+  an ack or declared loss returns the credit.  A parcel holds one credit
+  from its first wire copy to its ack/loss — retransmissions ride the
+  same credit.
+- **per-link circuit breakers** (:class:`repro.overload.breaker.
+  BreakerParams`): consecutive ack-timeouts open the link; while open,
+  sends and retransmits park (no wire copies — this is what caps the
+  retransmission storm) or, with ``fail_fast``, new sends raise
+  :class:`~repro.overload.errors.CircuitOpenError`.  A half-open probe
+  with seeded jitter restores the link.
+
+Both require :class:`RetryParams` — acks are what return credits and
+detect failures.
 
 Conservation: once nothing is in flight, ``sent + retransmitted ==
 received + dropped + duplicates-discarded`` over the whole system (every
 wire copy ends in exactly one of the three fates) — asserted by the figD
-and figR shape checks.
+and figR shape checks.  Parked sends hold the identity trivially: a
+parked parcel was counted ``sent`` but has no wire copies yet.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -79,6 +103,9 @@ from repro.counters.registry import CounterRegistry
 from repro.dist.network import NetworkModel
 from repro.faults.plan import FaultInjector, stream_unit
 from repro.faults.transport import RetryParams
+from repro.overload.breaker import BreakerParams, BreakerState, CircuitBreaker
+from repro.overload.config import CreditParams
+from repro.overload.errors import CircuitOpenError
 from repro.sim.engine import Event, Simulator
 
 #: role tag for the retransmit-jitter stream (see repro.faults.plan)
@@ -143,7 +170,17 @@ class Parcelport:
         injector: FaultInjector | None = None,
         retry: RetryParams | None = None,
         seed: int = 0,
+        credits: CreditParams | None = None,
+        breaker: BreakerParams | None = None,
+        dead_letter_capacity: int = 1024,
     ) -> None:
+        if (credits is not None or breaker is not None) and retry is None:
+            raise ValueError(
+                "credit flow control and circuit breakers require RetryParams:"
+                " acks are what return credits and detect link failures"
+            )
+        if dead_letter_capacity < 1:
+            raise ValueError("dead_letter_capacity must be >= 1")
         self.locality = locality
         self.sim = simulator
         self.network = network
@@ -151,6 +188,8 @@ class Parcelport:
         self._injector = injector
         self._retry = retry
         self._seed = seed
+        self._credits = credits
+        self._breaker_params = breaker
         self._peers: dict[int, "Parcelport"] = {locality: self}
         self._outgoing_in_flight = 0
         self._halted = False
@@ -159,8 +198,29 @@ class Parcelport:
         #: parcel_id -> (timeout event, parcel, attempt) awaiting an ack
         self._awaiting: dict[int, tuple[Event, "Parcel", int]] = {}
         #: parcels this port dropped with no retransmit protocol to save
-        #: them; the DistRuntime deadlock diagnosis names these
-        self._dead_letters: list[Parcel] = []
+        #: them; the DistRuntime deadlock diagnosis names these.  Bounded:
+        #: once full the oldest is evicted and counted as dropped-from-ring.
+        self._dead_letters: deque[Parcel] = deque()
+        self._dead_letter_capacity = dead_letter_capacity
+        self._dead_letters_dropped = 0
+        #: per-destination lazily created breakers (order of creation is
+        #: deterministic: first send to a destination creates its breaker)
+        self._breakers: dict[int, CircuitBreaker] = {}
+        #: per-destination parked sends: (parcel, on_delivered, on_lost,
+        #: attempt, wire_ready_ns, parked_ns, reason)
+        self._waiting: dict[int, deque[tuple]] = {}
+        #: credit ledger, maintained whenever retry is armed (so a baseline
+        #: run can report its unacked high-water mark): parcel_id -> dest,
+        #: dest -> live unacked count, dest -> high-water mark
+        self._unacked_dest: dict[int, int] = {}
+        self._unacked_count: dict[int, int] = {}
+        self._unacked_hwm: dict[int, int] = {}
+        self._credit_wait_ns = 0
+        self._credit_waits = 0
+        self._breaker_wait_ns = 0
+        self._breaker_deferred = 0
+        self._fast_failures = 0
+        self._breaker_transitions = 0
         prefix = f"/parcels{{locality#{locality}/total}}"
         self._c_sent = registry.raw(f"{prefix}/count/sent", "parcels sent")
         self._c_received = registry.raw(
@@ -209,6 +269,48 @@ class Parcelport:
             "wire copies sent by this locality still in flight",
             source=lambda: float(self._outgoing_in_flight),
         )
+        registry.derived(
+            f"{prefix}/count/dead-letters-dropped",
+            lambda: float(self._dead_letters_dropped),
+            "dead letters evicted from the bounded ring",
+        )
+        if credits is not None or breaker is not None:
+            oprefix = f"/overload{{locality#{locality}/total}}"
+            registry.derived(
+                f"{oprefix}/count/credit-waits",
+                lambda: float(self._credit_waits),
+                "sends parked waiting for a flow-control credit",
+            )
+            registry.derived(
+                f"{oprefix}/time/credits-exhausted",
+                lambda: float(self._credit_wait_ns),
+                "cumulative time sends spent parked on credits (ns)",
+            )
+            registry.derived(
+                f"{oprefix}/count/breaker-deferred",
+                lambda: float(self._breaker_deferred),
+                "wire copies parked behind an open circuit breaker",
+            )
+            registry.derived(
+                f"{oprefix}/time/breaker-deferred",
+                lambda: float(self._breaker_wait_ns),
+                "cumulative time copies spent parked behind a breaker (ns)",
+            )
+            registry.derived(
+                f"{oprefix}/count/breaker-transitions",
+                lambda: float(self._breaker_transitions),
+                "circuit-breaker state transitions on this locality's links",
+            )
+            registry.derived(
+                f"{oprefix}/count/breaker-fast-failures",
+                lambda: float(self._fast_failures),
+                "sends rejected with CircuitOpenError (fail_fast breakers)",
+            )
+            registry.value(
+                f"{oprefix}/count/waiting-sends@gauge",
+                "sends currently parked (credits or breaker)",
+                source=lambda: float(self.waiting_sends),
+            )
 
     def connect(self, ports: dict[int, "Parcelport"]) -> None:
         """Wire this port to its peers (DistRuntime calls this once)."""
@@ -248,6 +350,19 @@ class Parcelport:
             raise KeyError(
                 f"locality {self.locality} has no route to {destination}"
             )
+        params = self._breaker_params
+        if params is not None and params.fail_fast:
+            br = self._breakers.get(destination)
+            if br is not None and not br.allows_send():
+                # Rejected before any counter is booked: a fast-failed send
+                # never existed as far as conservation is concerned.
+                self._fast_failures += 1
+                raise CircuitOpenError(
+                    self.locality,
+                    destination,
+                    opened_at_ns=br.opened_at_ns,
+                    consecutive_failures=br.consecutive_failures,
+                )
         if payload_bytes is None:
             payload_bytes = self.network.params.default_payload_bytes
         serialize_ns = self.network.serialization_ns(payload_bytes)
@@ -266,16 +381,149 @@ class Parcelport:
         self._c_sent.increment()
         self._c_bytes_sent.increment(parcel.wire_bytes)
         self._c_serialization.increment(serialize_ns)
-        peer = self._peers[destination]
-        self._transmit(
-            peer,
+        self._send_copy(
             parcel,
             on_delivered,
             on_lost,
             attempt=0,
-            head_delay_ns=resolve_ns + serialize_ns,
+            wire_ready_ns=now + resolve_ns + serialize_ns,
         )
         return parcel
+
+    # -- the gated dispatch pipeline (breaker, then credits, then wire) -----
+
+    def _send_copy(
+        self,
+        parcel: Parcel,
+        on_delivered: DeliveryFn,
+        on_lost: LostFn | None,
+        attempt: int,
+        wire_ready_ns: int,
+    ) -> None:
+        """Dispatch one copy, or park it if a gate is shut.
+
+        ``wire_ready_ns`` is the earliest moment the encoded buffer may hit
+        the wire (it carries the AGAS + serialization delay of a fresh send;
+        a retransmission's buffer is ready immediately).  Parking preserves
+        it, so a parked fresh send still pays its encoding latency.
+        """
+        destination = parcel.destination
+        if self._breaker_params is not None:
+            br: CircuitBreaker | None = self._breaker_for(destination)
+        else:
+            br = None
+        if br is not None and not br.allows_send():
+            self._park(
+                parcel, on_delivered, on_lost, attempt, wire_ready_ns, "breaker"
+            )
+            return
+        if self._needs_credit(parcel) and not self._credit_available(destination):
+            self._park(
+                parcel, on_delivered, on_lost, attempt, wire_ready_ns, "credit"
+            )
+            return
+        self._wire_dispatch(parcel, on_delivered, on_lost, attempt, wire_ready_ns, br)
+
+    def _wire_dispatch(
+        self,
+        parcel: Parcel,
+        on_delivered: DeliveryFn,
+        on_lost: LostFn | None,
+        attempt: int,
+        wire_ready_ns: int,
+        br: CircuitBreaker | None,
+    ) -> None:
+        if attempt > 0:
+            self._c_retransmitted.increment()
+        if br is not None:
+            br.note_dispatch()
+        head = wire_ready_ns - self.sim.now
+        self._transmit(
+            self._peers[parcel.destination],
+            parcel,
+            on_delivered,
+            on_lost,
+            attempt,
+            head_delay_ns=head if head > 0 else 0,
+        )
+
+    def _needs_credit(self, parcel: Parcel) -> bool:
+        """A parcel takes one credit with its first copy and keeps it until
+        acked or declared lost; retransmissions ride the same credit."""
+        return (
+            self._credits is not None
+            and parcel.parcel_id not in self._unacked_dest
+        )
+
+    def _credit_available(self, destination: int) -> bool:
+        assert self._credits is not None
+        return self._unacked_count.get(destination, 0) < self._credits.window
+
+    def _park(
+        self,
+        parcel: Parcel,
+        on_delivered: DeliveryFn,
+        on_lost: LostFn | None,
+        attempt: int,
+        wire_ready_ns: int,
+        reason: str,
+    ) -> None:
+        lane = self._waiting.get(parcel.destination)
+        if lane is None:
+            lane = self._waiting[parcel.destination] = deque()
+        lane.append(
+            (parcel, on_delivered, on_lost, attempt, wire_ready_ns,
+             self.sim.now, reason)
+        )
+        if reason == "credit":
+            self._credit_waits += 1
+        else:
+            self._breaker_deferred += 1
+
+    def _pump(self, destination: int) -> None:
+        """Dispatch parked copies while the gates allow it (FIFO per link)."""
+        lane = self._waiting.get(destination)
+        if not lane or self._halted:
+            return
+        br = self._breakers.get(destination)
+        while lane:
+            if br is not None and not br.allows_send():
+                return
+            head = lane[0]
+            parcel = head[0]
+            if self._needs_credit(parcel) and not self._credit_available(
+                destination
+            ):
+                return
+            lane.popleft()
+            _p, on_delivered, on_lost, attempt, wire_ready_ns, parked_ns, reason = head
+            waited = self.sim.now - parked_ns
+            if reason == "credit":
+                self._credit_wait_ns += waited
+            else:
+                self._breaker_wait_ns += waited
+            self._wire_dispatch(
+                parcel, on_delivered, on_lost, attempt, wire_ready_ns, br
+            )
+
+    def _breaker_for(self, destination: int) -> CircuitBreaker:
+        br = self._breakers.get(destination)
+        if br is None:
+            assert self._breaker_params is not None
+            br = CircuitBreaker(
+                self._breaker_params,
+                self.sim,
+                seed=self._seed,
+                source=self.locality,
+                destination=destination,
+                on_half_open=lambda d=destination: self._pump(d),
+                on_transition=self._note_transition,
+            )
+            self._breakers[destination] = br
+        return br
+
+    def _note_transition(self, _old: BreakerState, _new: BreakerState) -> None:
+        self._breaker_transitions += 1
 
     def _transfer_ns(self, destination: int, payload_bytes: int) -> int:
         """Wire time for one copy, degradation windows applied at ``now``."""
@@ -338,6 +586,13 @@ class Parcelport:
                 ),
             )
             self._awaiting[parcel.parcel_id] = (event, parcel, attempt)
+            if parcel.parcel_id not in self._unacked_dest:
+                dest = peer.locality
+                self._unacked_dest[parcel.parcel_id] = dest
+                count = self._unacked_count.get(dest, 0) + 1
+                self._unacked_count[dest] = count
+                if count > self._unacked_hwm.get(dest, 0):
+                    self._unacked_hwm[dest] = count
 
     def _jitter_ns(self, parcel_id: int, attempt: int) -> int:
         assert self._retry is not None
@@ -351,11 +606,18 @@ class Parcelport:
 
     # -- the wire's three outcomes ------------------------------------------
 
+    def _dead_letter(self, parcel: Parcel) -> None:
+        """Record a parcel lost for good; the ring evicts oldest-first."""
+        if len(self._dead_letters) >= self._dead_letter_capacity:
+            self._dead_letters.popleft()
+            self._dead_letters_dropped += 1
+        self._dead_letters.append(parcel)
+
     def _drop_on_wire(self, parcel: Parcel) -> None:
         self._outgoing_in_flight -= 1
         self._c_dropped.increment()
         if self._retry is None:
-            self._dead_letters.append(parcel)
+            self._dead_letter(parcel)
 
     def _arrive(
         self, peer: "Parcelport", parcel: Parcel, on_delivered: DeliveryFn
@@ -365,7 +627,7 @@ class Parcelport:
             # A crashed locality receives nothing; the copy is gone.
             self._c_dropped.increment()
             if self._retry is None:
-                self._dead_letters.append(parcel)
+                self._dead_letter(parcel)
             return
         key = (parcel.source, parcel.parcel_id)
         if key in peer._delivered:
@@ -398,6 +660,19 @@ class Parcelport:
         entry = self._awaiting.pop(parcel_id, None)
         if entry is not None:
             entry[0].cancel()
+            destination = self._release_unacked(parcel_id)
+            if destination is not None:
+                br = self._breakers.get(destination)
+                if br is not None:
+                    br.record_success()
+                self._pump(destination)
+
+    def _release_unacked(self, parcel_id: int) -> int | None:
+        """Return the parcel's credit; gives back the destination, if any."""
+        destination = self._unacked_dest.pop(parcel_id, None)
+        if destination is not None:
+            self._unacked_count[destination] -= 1
+        return destination
 
     def _on_timeout(
         self,
@@ -413,18 +688,25 @@ class Parcelport:
         if self._halted:
             return
         self._c_backoff.increment(timeout_ns)
+        br = self._breakers.get(parcel.destination)
+        if br is not None:
+            br.record_failure()
         if attempt >= self._retry.max_retries:
             attempts = attempt + 1
+            destination = self._release_unacked(parcel.parcel_id)
             if on_lost is not None:
                 on_lost(parcel, attempts)
             else:
-                self._dead_letters.append(parcel)
+                self._dead_letter(parcel)
+            if destination is not None:
+                # The freed credit may unblock a parked send.
+                self._pump(destination)
             return
-        self._c_retransmitted.increment()
         # Retransmission re-sends the already-encoded buffer: no second
-        # serialization or AGAS charge, just wire time.
-        self._transmit(
-            peer, parcel, on_delivered, on_lost, attempt + 1, head_delay_ns=0
+        # serialization or AGAS charge, just wire time — but it goes back
+        # through the gates, so an open breaker parks it instead.
+        self._send_copy(
+            parcel, on_delivered, on_lost, attempt + 1, wire_ready_ns=self.sim.now
         )
 
     # -- recovery bookkeeping (called by DistRuntime's re-execution hook) ---
@@ -447,6 +729,9 @@ class Parcelport:
         for event, _parcel, _attempt in self._awaiting.values():
             event.cancel()
         self._awaiting.clear()
+        for br in self._breakers.values():
+            br.halt()
+        self._waiting.clear()
 
     # -- introspection ------------------------------------------------------
 
@@ -461,8 +746,60 @@ class Parcelport:
         return tuple(self._dead_letters)
 
     @property
+    def dead_letters_dropped(self) -> int:
+        """Dead letters the bounded ring has evicted (oldest first)."""
+        return self._dead_letters_dropped
+
+    @property
     def awaiting_ack(self) -> tuple[tuple[Parcel, int], ...]:
         """(parcel, attempt) pairs with a live retransmit timer."""
         return tuple(
             (parcel, attempt) for _e, parcel, attempt in self._awaiting.values()
         )
+
+    @property
+    def waiting_sends(self) -> int:
+        """Copies currently parked behind a credit or breaker gate."""
+        return sum(len(lane) for lane in self._waiting.values())
+
+    def waiting_for(self, destination: int) -> tuple[Parcel, ...]:
+        """The parked parcels headed to ``destination`` (FIFO order)."""
+        lane = self._waiting.get(destination)
+        if not lane:
+            return ()
+        return tuple(entry[0] for entry in lane)
+
+    def unacked_high_water(self, destination: int) -> int:
+        """Peak distinct unacked parcels to ``destination`` (retry only)."""
+        return self._unacked_hwm.get(destination, 0)
+
+    @property
+    def max_unacked_in_flight(self) -> int:
+        """Peak unacked parcels over all destinations; bounded by the
+        credit window when flow control is on."""
+        return max(self._unacked_hwm.values(), default=0)
+
+    @property
+    def breakers(self) -> dict[int, CircuitBreaker]:
+        """Live breakers by destination (read-only view by convention)."""
+        return self._breakers
+
+    @property
+    def breaker_transitions(self) -> int:
+        """Total breaker state transitions on this locality's links."""
+        return self._breaker_transitions
+
+    @property
+    def credits_exhausted_ns(self) -> int:
+        """Cumulative simulated time sends spent parked on credits."""
+        return self._credit_wait_ns
+
+    @property
+    def sends_deferred(self) -> int:
+        """Sends that ever parked (credit waits + breaker deferrals)."""
+        return self._credit_waits + self._breaker_deferred
+
+    @property
+    def fast_failures(self) -> int:
+        """Sends rejected with :class:`CircuitOpenError` (fail_fast)."""
+        return self._fast_failures

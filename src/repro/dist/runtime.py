@@ -45,6 +45,7 @@ from repro.faults.errors import (
 )
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.transport import RetryParams
+from repro.overload.config import OverloadConfig
 from repro.runtime.future import Future
 from repro.runtime.runtime import Runtime, RuntimeConfig
 from repro.runtime.sim_executor import DeadlockError
@@ -100,6 +101,15 @@ class DistConfig:
     #: default watchdog deadline for :meth:`DistRuntime.run`/``wait`` (ns of
     #: virtual time); ``None`` disables the watchdog
     watchdog_ns: int | None = None
+    #: opt-in overload control (:mod:`repro.overload`): ``admission``
+    #: bounds every locality's scheduler queues, ``credits`` installs
+    #: per-destination sender windows on the parcelports, ``breaker``
+    #: installs per-link circuit breakers.  ``None`` (the default) is
+    #: bit-identical to pre-overload behaviour.
+    overload: OverloadConfig | None = None
+    #: bound of each parcelport's dead-letter ring; the oldest letter is
+    #: evicted (and counted) once full
+    dead_letter_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_localities < 1:
@@ -127,6 +137,19 @@ class DistConfig:
             raise ValueError(
                 "recovery='reexecute' needs the reliable transport: pass "
                 "retry=RetryParams(...) so loss is detectable"
+            )
+        if self.dead_letter_capacity < 1:
+            raise ValueError("dead_letter_capacity must be >= 1")
+        if (
+            self.overload is not None
+            and (self.overload.credits is not None
+                 or self.overload.breaker is not None)
+            and self.retry is None
+        ):
+            raise ValueError(
+                "credit flow control and circuit breakers require the "
+                "reliable transport: pass retry=RetryParams(...) — acks are "
+                "what return credits and detect link failures"
             )
         if self.faults is not None:
             n = self.num_localities
@@ -200,6 +223,19 @@ class DistRunResult:
     parcels_recovered: int = 0
     recovery_ns: int = 0
     crashed_localities: tuple[int, ...] = ()
+    #: -- overload accounting (all zero with overload control off) ----------
+    #: tasks rejected by admission control, summed over localities
+    tasks_shed: int = 0
+    #: sends that ever parked behind a credit or breaker gate
+    sends_deferred: int = 0
+    #: cumulative simulated time sends spent parked on credits
+    credits_exhausted_ns: int = 0
+    #: peak distinct unacked parcels on any (source, destination) link
+    max_unacked_in_flight: int = 0
+    #: circuit-breaker state transitions, summed over localities
+    breaker_transitions: int = 0
+    #: dead letters evicted from the bounded rings
+    dead_letters_dropped: int = 0
 
     def assert_parcels_conserved(self) -> None:
         """Every wire copy must meet exactly one fate.
@@ -340,9 +376,13 @@ class DistRuntime:
                     # run reproduces the single-node runtime exactly.
                     seed=config.seed + 0x9E3779B1 * i,
                     timer_counters=config.timer_counters,
+                    # Admission control applies per locality (each has its
+                    # own scheduler); credits/breaker belong to the port.
+                    overload=config.overload,
                 ),
                 simulator=self.simulator,
             )
+            overload = config.overload
             port = Parcelport(
                 i,
                 self.simulator,
@@ -352,6 +392,9 @@ class DistRuntime:
                 injector=self.injector,
                 retry=config.retry,
                 seed=config.seed,
+                credits=overload.credits if overload is not None else None,
+                breaker=overload.breaker if overload is not None else None,
+                dead_letter_capacity=config.dead_letter_capacity,
             )
             cache = AgasCache(self.agas, i, self.registry, agas_params)
             self.localities.append(Locality(i, runtime, port, cache))
@@ -417,6 +460,16 @@ class DistRuntime:
                     "per-locality tasks executed")
         reg.derived(f"{prefix}/idle-rate", idle_rate,
                     "per-locality Eq. 1 against the global wall clock")
+        policy = runtime.policy
+        for w in executor.workers:
+            reg.value(
+                f"/threads{{locality#{index}/worker-thread#{w.index}}}"
+                "/count/queue-depth@gauge",
+                "staged+pending tasks homed on this worker",
+                source=(lambda p, i: lambda: float(p.worker_queue_depth(i)))(
+                    policy, w.index
+                ),
+            )
 
     # -- placement bookkeeping ---------------------------------------------
 
@@ -726,12 +779,35 @@ class DistRuntime:
             dead = loc.parcelport.dead_letters
             if dead:
                 parcel = dead[0]
+                dropped = loc.parcelport.dead_letters_dropped
+                more = f" (+{dropped} evicted from the ring)" if dropped else ""
                 bits.append(
                     f"{len(dead)} parcel(s) lost in transit (e.g. parcel "
-                    f"#{parcel.parcel_id} on {parcel.link})"
+                    f"#{parcel.parcel_id} on {parcel.link}){more}"
+                )
+            parked = loc.parcelport.waiting_sends
+            if parked:
+                bits.append(
+                    f"{parked} send(s) parked behind a credit/breaker gate"
                 )
             if bits:
                 parts.append(f"locality {loc.index}: " + ", ".join(bits))
+        # Name the dependency cones that died with a crashed locality: a
+        # pending proxy whose transitive producer crashed can never become
+        # ready, and that (not the transport) is what starves its consumer.
+        doomed: dict[int, list[str]] = {}
+        for proxy in self._proxies.values():
+            if proxy.is_ready:
+                continue
+            crashed = self._crashed_dependency(proxy)
+            if crashed is not None:
+                doomed.setdefault(crashed, []).append(proxy.name)
+        for crashed in sorted(doomed):
+            names = doomed[crashed]
+            parts.append(
+                f"{len(names)} pending future(s) depend on crashed locality "
+                f"{crashed} and can never become ready (e.g. {names[0]!r})"
+            )
         return "; ".join(parts) if parts else "no locality reports pending work"
 
     def run(self, *, watchdog_ns: int | None = None) -> DistRunResult:
@@ -868,6 +944,28 @@ class DistRuntime:
             recovery_ns=ptotal("time/recovery"),
             crashed_localities=tuple(
                 loc.index for loc in self.localities if loc.crashed
+            ),
+            tasks_shed=sum(
+                loc.runtime.admission.stats.shed
+                for loc in self.localities
+                if loc.runtime.admission is not None
+            ),
+            sends_deferred=sum(
+                loc.parcelport.sends_deferred for loc in self.localities
+            ),
+            credits_exhausted_ns=sum(
+                loc.parcelport.credits_exhausted_ns for loc in self.localities
+            ),
+            max_unacked_in_flight=max(
+                (loc.parcelport.max_unacked_in_flight
+                 for loc in self.localities),
+                default=0,
+            ),
+            breaker_transitions=sum(
+                loc.parcelport.breaker_transitions for loc in self.localities
+            ),
+            dead_letters_dropped=sum(
+                loc.parcelport.dead_letters_dropped for loc in self.localities
             ),
         )
         self._result = result

@@ -36,6 +36,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "figD": "repro.experiments.figD_distributed_grain",
     "figR": "repro.experiments.figR_resilience_grain",
     "figT": "repro.experiments.figT_taskbench_metg",
+    "figO": "repro.experiments.figO_overload",
     "selection": "repro.experiments.selection_experiment",
     "tuner": "repro.experiments.tuner_experiment",
     "ablation": "repro.experiments.ablations",

@@ -1,0 +1,60 @@
+"""Aggregate configuration for the overload-control layers.
+
+Everything defaults to ``None``/off: a runtime built without an
+:class:`OverloadConfig` (or with an empty one) is bit-identical to the
+pre-overload behaviour — no extra events, no extra counters on the hot
+paths.  Each layer is enabled independently:
+
+* ``admission`` bounds scheduler queue depth (:mod:`repro.overload.admission`),
+* ``credits`` bounds per-destination in-flight parcels,
+* ``breaker`` adds per-link circuit breakers
+  (:mod:`repro.overload.breaker`).
+
+``credits`` and ``breaker`` both ride on the positive-ack transport, so
+:class:`~repro.dist.runtime.DistConfig` validation requires ``retry``
+when either is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.overload.admission import AdmissionParams
+from repro.overload.breaker import BreakerParams
+
+__all__ = ["CreditParams", "OverloadConfig"]
+
+
+@dataclass(frozen=True)
+class CreditParams:
+    """Credit-based flow control: a sender window per destination.
+
+    At most ``window`` distinct unacked parcels may be in flight to any
+    one destination; further sends park (in simulated time) until an ack
+    or a declared loss returns a credit.  Retransmissions do not consume
+    additional credits — a parcel holds its credit from first wire copy
+    to ack or loss.
+    """
+
+    window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"credit window must be >= 1, got {self.window}")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Opt-in overload control; all layers default to off."""
+
+    admission: AdmissionParams | None = None
+    credits: CreditParams | None = None
+    breaker: BreakerParams | None = None
+
+    @property
+    def is_active(self) -> bool:
+        return (
+            self.admission is not None
+            or self.credits is not None
+            or self.breaker is not None
+        )

@@ -1,0 +1,61 @@
+"""Typed failures raised by the overload-control layer.
+
+Overload control turns silent collapse into *explicit, typed* outcomes:
+a task rejected by admission control fails its future with
+:class:`TaskShedError`; a send refused by an open circuit breaker (when
+the breaker is configured to fail fast) raises :class:`CircuitOpenError`.
+Both carry enough context to name the victim and the reason, following
+the convention set by :mod:`repro.faults.errors`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OverloadError", "TaskShedError", "CircuitOpenError"]
+
+
+class OverloadError(RuntimeError):
+    """Base class for failures caused by overload-control decisions."""
+
+
+class TaskShedError(OverloadError):
+    """A task was rejected by admission control under the ``shed`` policy.
+
+    The task never ran: its future carries this exception instead of a
+    value, so consumers observe load shedding as an ordinary failed
+    dependency rather than a hang.
+    """
+
+    def __init__(self, task_name: str, *, queue_depth: int, max_depth: int):
+        self.task_name = task_name
+        self.queue_depth = queue_depth
+        self.max_depth = max_depth
+        super().__init__(
+            f"task {task_name!r} shed by admission control "
+            f"(queue depth {queue_depth} at bound {max_depth})"
+        )
+
+
+class CircuitOpenError(OverloadError):
+    """A send was refused because the circuit breaker for the link is open.
+
+    Only raised when the breaker is configured with ``fail_fast=True``;
+    the default behaviour parks the send until the link recovers.
+    """
+
+    def __init__(
+        self,
+        source: int,
+        destination: int,
+        *,
+        opened_at_ns: int,
+        consecutive_failures: int,
+    ):
+        self.source = source
+        self.destination = destination
+        self.opened_at_ns = opened_at_ns
+        self.consecutive_failures = consecutive_failures
+        super().__init__(
+            f"circuit breaker for link {source}->{destination} is open "
+            f"(opened at t={opened_at_ns}ns after "
+            f"{consecutive_failures} consecutive failures)"
+        )

@@ -227,6 +227,7 @@ def then(
 
     def launch(_ready: Future) -> None:
         task = Task(body, work=work or NoWork(), name=result.name, priority=priority)
+        task.failure_hook = result.set_exception
         spawner.spawn(task)
 
     future.on_ready(launch)
@@ -267,6 +268,7 @@ def dataflow(
             result.set_exception(failed.exception)  # type: ignore[arg-type]
             return
         task = Task(body, work=work or NoWork(), name=result.name, priority=priority)
+        task.failure_hook = result.set_exception
         spawner.spawn(task)
 
     when_all(deps, name=f"{result.name}:deps").on_ready(launch)

@@ -16,6 +16,7 @@ from typing import Any, Callable, Sequence
 from repro.analysis.dynamic import CheckError, RuntimeChecker
 from repro.counters.interval import IntervalSampler
 from repro.counters.registry import CounterRegistry, CounterSnapshot
+from repro.overload.config import OverloadConfig
 from repro.runtime.future import Future, dataflow as _dataflow
 from repro.runtime.sim_executor import DeadlockError, SimExecutor
 from repro.runtime.task import Priority, Task
@@ -49,6 +50,10 @@ class RuntimeConfig:
     #: dependency-cycle detection before the run, leaked-future detection
     #: after it; failures raise :class:`repro.analysis.CheckError`
     check: bool = False
+    #: opt-in overload control (:mod:`repro.overload`); only the
+    #: ``admission`` layer applies to a single-locality runtime.  ``None``
+    #: (the default) is bit-identical to pre-overload behaviour.
+    overload: OverloadConfig | None = None
 
     def resolve_platform(self) -> PlatformSpec:
         if isinstance(self.platform, PlatformSpec):
@@ -112,6 +117,42 @@ class RunResult:
     def phases(self) -> float:
         return self.counters.get("/threads/count/cumulative-phases")
 
+    # -- overload counters (0.0 unless admission control was installed) --------
+
+    @property
+    def tasks_completed(self) -> float:
+        """Tasks that actually executed, ``/threads/count/cumulative``."""
+        return self.counters.get("/threads/count/cumulative")
+
+    @property
+    def tasks_offered(self) -> float:
+        return self.counters.get("/overload/count/offered")
+
+    @property
+    def tasks_shed(self) -> float:
+        return self.counters.get("/overload/count/shed")
+
+    @property
+    def tasks_spilled(self) -> float:
+        return self.counters.get("/overload/count/spilled")
+
+    @property
+    def tasks_blocked(self) -> float:
+        return self.counters.get("/overload/count/blocked")
+
+    @property
+    def tasks_readmitted(self) -> float:
+        return self.counters.get("/overload/count/readmitted")
+
+    @property
+    def backpressure_wait_ns(self) -> float:
+        return self.counters.get("/overload/time/backpressure-blocked")
+
+    @property
+    def peak_queue_depth(self) -> float:
+        """High-water staged+pending depth of any one queue."""
+        return self.counters.get("/overload/count/peak-queue-depth@gauge")
+
 
 class Runtime:
     """A single-launch task runtime over the simulated machine.
@@ -159,6 +200,13 @@ class Runtime:
             self.simulator,
         )
         self.sampler = IntervalSampler(self.registry)
+        #: live admission controller when ``config.overload`` bounds the
+        #: queues; the governor reaches it through ``runtime.admission``
+        self.admission = None
+        if config.overload is not None and config.overload.admission is not None:
+            self.admission = self.executor.install_admission(
+                config.overload.admission
+            )
         if config.trace:
             self.executor.enable_tracing()
         #: dynamic checker (``check=True``); also the handle for monitors
@@ -201,6 +249,7 @@ class Runtime:
                 result.set_value(value)
 
         task = Task(body, work=work, name=result.name, priority=priority)
+        task.failure_hook = result.set_exception
         if self.checker is not None:
             self.checker.register_future(result)
         self.spawn(task, worker)

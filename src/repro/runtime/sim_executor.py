@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import inspect
 
+from typing import TYPE_CHECKING
+
 from repro.counters.registry import CounterRegistry
 from repro.runtime.future import Future
 from repro.runtime.task import Task, TaskState
@@ -38,6 +40,9 @@ from repro.sim.costmodel import CostModel
 from repro.sim.engine import Event, Simulator
 from repro.sim.machine import Machine
 from repro.sim.trace import ExecutionTrace, PhaseRecord, SpawnRecord, StealRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overload.admission import AdmissionControl, AdmissionParams
 
 #: WorkSource -> provenance label recorded in traces
 _SOURCE_LABELS = {
@@ -131,6 +136,8 @@ class SimExecutor:
         #: pre-run spawns do not schedule search events early (which would
         #: perturb the deterministic event order of existing runs)
         self._started = False
+        #: admission controller, installed by :meth:`install_admission`
+        self.admission: "AdmissionControl | None" = None
         self._register_counters()
 
     # -- counters ---------------------------------------------------------------
@@ -203,6 +210,10 @@ class SimExecutor:
             reg.derived(f"{prefix}/count/cumulative",
                         (lambda ww: lambda: float(ww.tasks_executed))(w),
                         "per-worker task count")
+            reg.value(f"{prefix}/count/queue-depth@gauge",
+                      "staged+pending tasks homed on this worker",
+                      source=(lambda i: lambda: float(
+                          self.policy.worker_queue_depth(i)))(w.index))
 
     def enable_tracing(self) -> ExecutionTrace:
         """Attach (and return) an :class:`ExecutionTrace` recording every
@@ -547,6 +558,75 @@ class SimExecutor:
     @property
     def halted(self) -> bool:
         return self._halted
+
+    # -- admission control (repro.overload) ----------------------------------------
+
+    def install_admission(self, params: "AdmissionParams") -> "AdmissionControl":
+        """Bound the policy's queues per ``params``; returns the controller.
+
+        Attaches an :class:`repro.overload.admission.AdmissionControl` to
+        every queue the policy owns and registers the ``/overload``
+        counter family.  Call once, before :meth:`run`; runtimes built
+        without an overload config never reach this method, so the
+        default counter set (and event order) is untouched.
+        """
+        from repro.overload.admission import AdmissionControl
+
+        if self.admission is not None:
+            raise RuntimeError("admission control already installed")
+        control = AdmissionControl(
+            params, now_fn=lambda: self.sim.now, on_shed=self._on_task_shed
+        )
+        for q in self.policy.queues():
+            control.attach(q)
+        self.admission = control
+
+        stats = control.stats
+        reg = self.registry
+        reg.derived("/overload/count/offered",
+                    lambda: float(stats.offered),
+                    "tasks presented to admission control")
+        reg.derived("/overload/count/admitted",
+                    lambda: float(stats.admitted),
+                    "tasks admitted to the hot queues")
+        reg.derived("/overload/count/shed",
+                    lambda: float(stats.shed),
+                    "tasks rejected under the shed policy")
+        reg.derived("/overload/count/blocked",
+                    lambda: float(stats.blocked),
+                    "tasks deferred by backpressure (block policy)")
+        reg.derived("/overload/count/spilled",
+                    lambda: float(stats.spilled),
+                    "tasks moved to the cold queue (spill policy)")
+        reg.derived("/overload/count/readmitted",
+                    lambda: float(stats.readmitted),
+                    "deferred tasks re-admitted after depth recovered")
+        reg.derived("/overload/time/backpressure-blocked",
+                    lambda: float(stats.backpressure_wait_ns),
+                    "total simulated producer wait under block (ns)")
+        reg.value("/overload/count/spill-depth@gauge",
+                  "tasks currently parked in deferred lanes",
+                  source=lambda: float(control.deferred_tasks))
+        reg.value("/overload/count/peak-queue-depth@gauge",
+                  "high-water staged+pending depth of any one queue",
+                  source=lambda: float(stats.peak_depth))
+        return control
+
+    def _on_task_shed(self, task: Task, exc: BaseException) -> None:
+        """Admission control rejected ``task``: it will never run.
+
+        The paired future (if any) fails with the typed error first — a
+        ``then`` continuation it triggers may spawn replacement work, so
+        the outstanding count is retired only afterwards to avoid a
+        transient zero that would end the run early.
+        """
+        hook = task.failure_hook
+        if hook is not None:
+            hook(exc)
+        self._outstanding -= 1
+        if self._outstanding == 0 and self._started:
+            self.finish_ns = self.sim.now
+            self._cancel_all_wakeups()
 
     # -- driving -------------------------------------------------------------------
 

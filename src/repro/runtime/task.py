@@ -81,6 +81,7 @@ class Task:
         "home_worker",
         "_generator",
         "result",
+        "failure_hook",
     )
 
     def __init__(
@@ -109,6 +110,10 @@ class Task:
         self.home_worker: int = -1
         self._generator = None
         self.result: Any = None
+        #: called with an exception if the task is discarded before it can
+        #: run (admission-control shedding); normally the paired future's
+        #: ``set_exception``, so consumers observe a typed failure
+        self.failure_hook: Callable[[BaseException], None] | None = None
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -116,7 +116,29 @@ class SchedulingPolicy:
         raise NotImplementedError
 
     def queued_tasks(self) -> int:
-        """Tasks currently sitting in any queue (not active/suspended)."""
+        """Tasks currently sitting in any queue (not active/suspended).
+
+        Deferred tasks (parked by admission control, see
+        :mod:`repro.overload.admission`) count: they are real queued work
+        the consumers will re-admit, and the executor's give-up/deadlock
+        checks must not treat them as gone.
+        """
+        return sum(
+            q.pending_len + q.staged_len + q.deferred_len for q in self.queues()
+        )
+
+    def worker_queue_depth(self, worker: int) -> int:
+        """Staged+pending depth of the queues homed on ``worker``.
+
+        Feeds the per-worker ``/threads{...}/count/queue-depth`` gauge and
+        the overload governor.  Policies with per-worker queues override
+        this; the default suits single-shared-structure policies — the
+        whole depth is reported at worker 0 so totals are not
+        double-counted.  Deferred (cold) tasks are excluded: the gauge
+        measures the hot structures workers actually scan.
+        """
+        if worker != 0:
+            return 0
         return sum(q.pending_len + q.staged_len for q in self.queues())
 
     def aggregate_stats(self) -> QueueStats:

@@ -33,6 +33,9 @@ class LifoDualQueue(DualQueue):
     """
 
     def pop_pending(self) -> Task | None:
+        admission = self.admission
+        if admission is not None:
+            admission.drain(self)
         stats = self.stats
         stats.pending_accesses += 1
         if self._pending:
@@ -41,6 +44,9 @@ class LifoDualQueue(DualQueue):
         return None
 
     def pop_staged(self) -> Task | None:
+        admission = self.admission
+        if admission is not None:
+            admission.drain(self)
         stats = self.stats
         stats.staged_accesses += 1
         if self._staged:

@@ -176,3 +176,19 @@ class PriorityLocalScheduler(SchedulingPolicy):
     def normal_queue(self, worker: int) -> DualQueue:
         """The normal-priority dual queue of ``worker`` (tests/counters)."""
         return self._normal[worker]
+
+    def worker_queue_depth(self, worker: int) -> int:
+        """Hot (staged+pending) depth of the queues homed on ``worker``.
+
+        Counts the worker's normal queue, its high-priority queue (if it
+        owns one) and — at worker 0, to keep totals exact — the global
+        low-priority queue.
+        """
+        q = self._normal[worker]
+        depth = q.pending_len + q.staged_len
+        if worker < len(self._high):
+            hq = self._high[worker]
+            depth += hq.pending_len + hq.staged_len
+        if worker == 0 and self._low is not None:
+            depth += self._low.pending_len + self._low.staged_len
+        return depth

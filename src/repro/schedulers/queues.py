@@ -8,14 +8,26 @@ threads ready to run wait in a pending queue.
 The paper's Fig. 9/10 metric — pending-queue accesses and misses — is counted
 here, at the queue, so every scheduling policy gets the accounting for free
 and the counts register genuine scheduler activity rather than a model.
+
+Each queue optionally carries an :class:`repro.overload.admission.
+AdmissionControl` (``admission``; default ``None`` — the unbounded legacy
+path).  With a controller attached, new staged pushes go through its
+admission gate, overflow lands in the queue's *deferred* lane (``block`` /
+``spill`` policies), and every pop first re-admits deferred work while
+depth allows.  ``push_pending`` is never gated: resumed tasks already
+hold contexts and must not deadlock behind their own backpressure.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.runtime.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overload.admission import AdmissionControl
 
 
 @dataclass
@@ -45,19 +57,33 @@ class DualQueue:
     stats: QueueStats = field(default_factory=QueueStats)
     _staged: deque[Task] = field(default_factory=deque)
     _pending: deque[Task] = field(default_factory=deque)
+    #: overflow lane: (task, deferred_at_ns) pairs awaiting re-admission
+    _deferred: deque[tuple[Task, int]] = field(default_factory=deque)
+    #: admission controller; ``None`` keeps the exact unbounded behaviour
+    admission: "AdmissionControl | None" = None
 
     # -- producers ------------------------------------------------------------
 
     def push_staged(self, task: Task) -> None:
-        self._staged.append(task)
+        admission = self.admission
+        if admission is None:
+            self._staged.append(task)
+        else:
+            admission.offer(self, task)
 
     def push_pending(self, task: Task) -> None:
         self._pending.append(task)
+        admission = self.admission
+        if admission is not None:
+            admission.note_pending_push(self)
 
     # -- consumers (every pop counts an access) --------------------------------
 
     def pop_pending(self) -> Task | None:
         """FIFO-pop from the pending queue, counting the access."""
+        admission = self.admission
+        if admission is not None:
+            admission.drain(self)
         stats = self.stats
         stats.pending_accesses += 1
         if self._pending:
@@ -67,6 +93,9 @@ class DualQueue:
 
     def pop_staged(self) -> Task | None:
         """FIFO-pop from the staged queue, counting the access."""
+        admission = self.admission
+        if admission is not None:
+            admission.drain(self)
         stats = self.stats
         stats.staged_accesses += 1
         if self._staged:
@@ -85,5 +114,9 @@ class DualQueue:
         return len(self._staged)
 
     @property
+    def deferred_len(self) -> int:
+        return len(self._deferred)
+
+    @property
     def is_empty(self) -> bool:
-        return not self._pending and not self._staged
+        return not self._pending and not self._staged and not self._deferred

@@ -56,6 +56,10 @@ class StaticScheduler(SchedulingPolicy):
     def queues(self) -> Iterator[DualQueue]:
         yield from self._queues
 
+    def worker_queue_depth(self, worker: int) -> int:
+        q = self._queues[worker]
+        return q.pending_len + q.staged_len
+
 
 class GlobalQueueScheduler(SchedulingPolicy):
     """A single dual queue shared by every worker.
@@ -164,3 +168,7 @@ class NumaBlindStealingScheduler(SchedulingPolicy):
 
     def queues(self) -> Iterator[DualQueue]:
         yield from self._queues
+
+    def worker_queue_depth(self, worker: int) -> int:
+        q = self._queues[worker]
+        return q.pending_len + q.staged_len

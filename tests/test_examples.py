@@ -26,6 +26,7 @@ EXPECTED_OUTPUT = {
     "distributed_stencil.py": "best grain moves coarser",
     "fault_injection.py": "parcel conservation holds",
     "taskbench_patterns.py": "the dependence-free pattern tolerates",
+    "overload_control.py": "goodput plateaus",
 }
 
 

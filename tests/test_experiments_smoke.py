@@ -128,7 +128,7 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 18
+        assert len(cli.EXPERIMENT_MODULES) == 19
 
     def test_list_subcommand(self, capsys):
         assert cli.main(["list"]) == 0
@@ -186,6 +186,28 @@ class TestFigTSmoke:
         assert "bit-identical rerun (1 = yes)" in labels
         curves = fig.panels[f"efficiency vs grain ({exp.CORES} cores)"]
         assert {s.label for s in curves} == set(exp.METG_PATTERNS)
+
+
+class TestFigOSmoke:
+    """figO (overload control) runs end-to-end at smoke scale.
+
+    Like figR/figT, figO's shape checks are asserted at smoke scale too:
+    divergence-vs-plateau, bound enforcement, breaker capping, governor
+    convergence, determinism and conservation are properties of the
+    control stack, not of sweep density.
+    """
+
+    def test_run_and_checks(self):
+        from repro.experiments import figO_overload as exp
+
+        fig = exp.run(SMOKE)
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems
+        labels = {s.label for s in fig.panels["summary"]}
+        assert "determinism (1 = bit-identical rerun)" in labels
+        assert "conservation violations" in labels
+        goodput = {s.label for s in fig.panels["A admission: goodput"]}
+        assert goodput == set(exp.POLICIES)
 
 
 class TestExtensionExperimentsSmoke:
