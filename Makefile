@@ -3,7 +3,7 @@
 # Every target works from a clean checkout: PYTHONPATH=src puts the package
 # on the path without requiring `make install` first.
 
-.PHONY: check install test test-fast lint bench experiments experiments-report clean
+.PHONY: check install test test-fast lint fuzz bench experiments experiments-report clean
 
 # Default flow: static analysis over shipped workloads, then the test suite.
 check: lint test
@@ -22,6 +22,13 @@ test-fast:
 lint:
 	PYTHONPATH=src python -m repro.analysis examples src/repro/apps --format text
 
+# Differential parity fuzzing (docs/verify.md): a fixed 50-seed corpus
+# through Runtime/ThreadRuntime/DistRuntime with zero PF4xx findings
+# required.  Fixed seeds + fixed budget = CI failures reproduce verbatim;
+# failures shrink to JSON reproducers under fuzz-reproducers/.
+fuzz:
+	PYTHONPATH=src python -m repro.verify fuzz --seeds 0:50 --budget-s 60 --out fuzz-reproducers
+
 bench:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
@@ -32,5 +39,5 @@ experiments-report:
 	PYTHONPATH=src python -m repro.experiments.cli all --scale bench --no-plots --markdown EXPERIMENTS.generated.md
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info fuzz-reproducers
 	find . -name __pycache__ -type d -exec rm -rf {} +

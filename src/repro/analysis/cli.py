@@ -41,11 +41,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--select", type=_split_ids, default=None, metavar="IDS",
-        help="comma-separated rule IDs to report exclusively",
+        help="comma-separated rule IDs (or prefixes, e.g. 'TG') to report "
+        "exclusively",
     )
     parser.add_argument(
         "--ignore", type=_split_ids, default=None, metavar="IDS",
-        help="comma-separated rule IDs to drop",
+        help="comma-separated rule IDs (or prefixes) to drop",
     )
     parser.add_argument(
         "--min-severity", choices=("info", "warning", "error"),
@@ -72,11 +73,12 @@ def main(argv: list[str] | None = None) -> int:
         print("error: no paths given (or use --list-rules)", file=sys.stderr)
         return 2
 
-    # A typo'd rule ID must not silently report "clean".
+    # Entries are prefix-matched ('TG' selects every TG1xx rule), but a
+    # typo'd entry matching nothing must not silently report "clean".
     unknown = [
         rid
         for rid in (args.select or []) + (args.ignore or [])
-        if rid not in RULES
+        if not any(known.startswith(rid.upper()) for known in RULES)
     ]
     if unknown:
         print(f"error: unknown rule ID: {', '.join(unknown)}", file=sys.stderr)

@@ -1,10 +1,11 @@
 """Findings: the common currency of every analysis layer.
 
-Static lint rules (``TG1xx``), graph analyses (``GA2xx``), and the dynamic
-checkers (``DC3xx``) all report :class:`Finding` records so the CLI, tests,
-and CI treat them uniformly.  A finding pins a rule ID, a severity, a
-human-readable message, and — when it came from source — a ``file:line:col``
-anchor.
+Static lint rules (``TG1xx``), graph analyses (``GA2xx``), the dynamic
+checkers (``DC3xx``), and the parity-fuzzing invariants (``PF4xx``,
+:mod:`repro.verify.invariants`) all report :class:`Finding` records so the
+CLI, tests, and CI treat them uniformly.  A finding pins a rule ID, a
+severity, a human-readable message, and — when it came from source — a
+``file:line:col`` anchor.
 
 Rule IDs are stable API: docs/analysis.md documents each one, inline
 suppressions name them (``# noqa: TG101``), and the golden-findings tests
@@ -72,6 +73,12 @@ RULES: dict[str, Rule] = {
             "manually constructed Future() is never given a value or "
             "exception — anything waiting on it deadlocks",
         ),
+        Rule(
+            "TG106", "nondeterministic-source", Severity.WARNING,
+            "task body reads a nondeterministic source (global random, "
+            "wall/monotonic clock, datetime.now()) — breaks bit-identical "
+            "replay; use the seeded SplitMix64 streams or inject an RNG",
+        ),
         # -- graph analysis ---------------------------------------------------
         Rule(
             "GA201", "dependency-cycle", Severity.ERROR,
@@ -96,6 +103,42 @@ RULES: dict[str, Rule] = {
             "DC303", "data-race", Severity.ERROR,
             "monitored state was accessed by multiple threads with no common "
             "lock held (lockset analysis)",
+        ),
+        # -- parity-fuzzing invariants (repro.verify) -------------------------
+        Rule(
+            "PF401", "parcel-conservation", Severity.ERROR,
+            "wire copies not conserved: sent + retransmitted != received + "
+            "dropped + duplicates-discarded",
+        ),
+        Rule(
+            "PF402", "task-conservation", Severity.ERROR,
+            "task count not conserved: a spec'd task never completed, or "
+            "the runtime executed tasks the spec does not describe",
+        ),
+        Rule(
+            "PF403", "dependency-order-conservation", Severity.ERROR,
+            "structural fingerprint differs from the spec's model — a task "
+            "observed parent values the dependency graph does not produce",
+        ),
+        Rule(
+            "PF404", "counter-identity", Severity.ERROR,
+            "a counter identity is violated (offered != completed + shed, "
+            "or readmitted != spilled)",
+        ),
+        Rule(
+            "PF405", "unclean-run", Severity.ERROR,
+            "a check=True run of a well-formed workload raised dynamic-"
+            "checker findings",
+        ),
+        Rule(
+            "PF406", "nondeterministic-rerun", Severity.ERROR,
+            "the same seed did not replay bit-identically (execution time "
+            "or counters differ between reruns)",
+        ),
+        Rule(
+            "PF407", "backend-divergence", Severity.ERROR,
+            "sim/thread/dist backends disagree on the structural result of "
+            "the same workload spec",
         ),
     ]
 }

@@ -95,16 +95,20 @@ def lint_paths(
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
 ) -> list[Finding]:
-    """Lint files and directories; optional rule-ID allow/deny lists."""
+    """Lint files and directories; optional rule-ID allow/deny lists.
+
+    Entries are prefix-matched, so ``select=["TG"]`` keeps every ``TG1xx``
+    finding and ``ignore=["PF40"]`` drops the whole ``PF40x`` family.
+    """
     findings: list[Finding] = []
     for path in expand_paths(paths):
         findings.extend(lint_file(path))
     if select:
-        chosen = {r.upper() for r in select}
-        findings = [f for f in findings if f.rule_id in chosen]
+        chosen = tuple(r.upper() for r in select)
+        findings = [f for f in findings if f.rule_id.startswith(chosen)]
     if ignore:
-        dropped = {r.upper() for r in ignore}
-        findings = [f for f in findings if f.rule_id not in dropped]
+        dropped = tuple(r.upper() for r in ignore)
+        findings = [f for f in findings if not f.rule_id.startswith(dropped)]
     return findings
 
 

@@ -1,4 +1,4 @@
-"""The lint rules (TG101–TG105) over a parsed workload module.
+"""The lint rules (TG101–TG106) over a parsed workload module.
 
 Each rule is a function ``(ctx) -> list[Finding]`` over a shared
 :class:`LintContext`; the driver in ``lint/__init__`` runs them all and
@@ -360,10 +360,82 @@ def check_unfulfilled_future(ctx: LintContext) -> list[Finding]:
     return findings
 
 
+# -- TG106: nondeterministic source inside a task body -----------------------------
+
+#: ``time.X()`` calls that read a clock (the ``_ns`` and perf_counter
+#: variants are the same hazard as the two the rule is named for)
+_NONDET_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns",
+     "perf_counter", "perf_counter_ns"}
+)
+
+
+def _bound_in_function(scope: Scope, name: str) -> bool:
+    """Is ``name`` bound by an enclosing *function* scope (not the module)?
+
+    That is the injected-dependency shape — ``def body(rng): ...`` or a
+    helper that takes its RNG as a parameter — which rule TG106 exempts:
+    injection is exactly how seeded determinism is done.
+    """
+    s: Scope | None = scope
+    while s is not None:
+        if not isinstance(s.node, ast.Module) and s.binds(name):
+            return True
+        s = s.parent
+    return False
+
+
+def check_nondeterministic_source(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    seen: set[tuple[int, int]] = set()
+    for site in ctx.sites:
+        scope = ctx.body_scope(site)
+        if scope is None:
+            continue
+        for node, _wd in _body_nodes(scope):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            base = _base_name(node.func.value)
+            if base is None or _bound_in_function(scope, base):
+                continue  # injected RNG/clock: the sanctioned pattern
+            attr = node.func.attr
+            if base == "random":
+                what = f"the global random.{attr}()"
+            elif base == "time" and attr in _NONDET_TIME_ATTRS:
+                what = f"the clock via time.{attr}()"
+            elif (
+                base == "datetime"
+                and attr == "now"
+                and not node.args
+                and not node.keywords
+            ):
+                what = "the wall clock via datetime.now()"
+            else:
+                continue
+            line, col = _loc(node)
+            if (line, col) in seen:
+                continue
+            seen.add((line, col))
+            findings.append(
+                Finding(
+                    "TG106",
+                    f"task body reads {what} — nondeterminism breaks "
+                    "bit-identical replay (invariant PF406); draw through "
+                    "the seeded SplitMix64 streams (repro.faults.plan) or "
+                    "inject a seeded RNG instead",
+                    ctx.filename, line, col,
+                )
+            )
+    return findings
+
+
 ALL_RULES = [
     check_blocking_get,
     check_lost_future,
     check_unsynchronized_capture,
     check_per_element_spawn,
     check_unfulfilled_future,
+    check_nondeterministic_source,
 ]

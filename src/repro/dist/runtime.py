@@ -242,23 +242,15 @@ class DistRunResult:
 
         ``sent + retransmitted`` counts copies put on the wire;
         ``received + dropped + duplicates-discarded`` counts copies taken
-        off it.  Once a run has completed the two must match — figD and
-        figR call this as a standing invariant.
+        off it.  The check itself lives in the shared invariant catalogue
+        (:data:`repro.verify.invariants.PARCELS_CONSERVED`, rule PF401);
+        this method stays as the assert-style spelling with the identical
+        failure message.
         """
-        on_wire = self.parcels_sent + self.parcels_retransmitted
-        off_wire = (
-            self.parcels_received
-            + self.parcels_dropped
-            + self.duplicates_discarded
-        )
-        if on_wire != off_wire:
-            raise AssertionError(
-                f"parcel conservation violated: {self.parcels_sent} sent + "
-                f"{self.parcels_retransmitted} retransmitted != "
-                f"{self.parcels_received} received + "
-                f"{self.parcels_dropped} dropped + "
-                f"{self.duplicates_discarded} duplicates discarded"
-            )
+        # Imported lazily: repro.verify lowers workloads through this module.
+        from repro.verify.invariants import PARCELS_CONSERVED
+
+        PARCELS_CONSERVED.require(self)
 
     @property
     def execution_time_s(self) -> float:

@@ -28,6 +28,7 @@ from repro.core.characterize import default_partition_sweep
 from repro.dist import DistConfig
 from repro.experiments.config import Scale
 from repro.experiments.report import FigureResult, Series
+from repro.verify.invariants import PARCELS_CONSERVED
 
 FIGURE_ID = "figD"
 TITLE = "Distributed grain: U-curve vs locality count (simulated Haswell)"
@@ -122,7 +123,7 @@ def run(scale: Scale) -> FigureResult:
             retransmitted += result.parcels_retransmitted
             duplicates += result.duplicates_discarded
             # Standing invariant: every wire copy meets exactly one fate.
-            result.assert_parcels_conserved()
+            PARCELS_CONSERVED.require(result)
         fig.add_series(panel, Series("execution time (s)", times))
         fig.add_series(panel, Series("idle-rate", idle))
         fig.add_series(panel, Series("overhead idle", overhead))

@@ -59,6 +59,11 @@ from repro.overload.workload import (
 )
 from repro.runtime.runtime import RuntimeConfig
 from repro.taskbench import TaskBenchSpec, run_taskbench_dist
+from repro.verify.invariants import (
+    ADMISSION_CONSERVED,
+    PARCELS_CONSERVED,
+    SPILL_CONSERVED,
+)
 
 FIGURE_ID = "figO"
 TITLE = "Overload control: admission, credits, breakers, graceful degradation"
@@ -169,7 +174,7 @@ def _dist_stencil(
             decomposition="cyclic",
         ),
     )
-    outcome.result.assert_parcels_conserved()
+    PARCELS_CONSERVED.require(outcome.result)
     return outcome.result
 
 
@@ -216,11 +221,11 @@ def run(scale: Scale) -> FigureResult:
         for utilization in UTILIZATIONS:
             out = _offered_run(scale, utilization, policy)
             result = out.result
-            if out.offered != out.completed + out.shed:
-                conservation_violations += 1
-            if policy == "spill" and result.tasks_readmitted != float(
-                result.tasks_spilled
+            if not ADMISSION_CONSERVED.holds(
+                out.offered, out.completed, out.shed
             ):
+                conservation_violations += 1
+            if policy == "spill" and not SPILL_CONSERVED.holds(result):
                 conservation_violations += 1
             goodput.append((utilization, out.goodput))
             times.append((utilization, result.execution_time_s))
@@ -281,7 +286,7 @@ def run(scale: Scale) -> FigureResult:
         ),
         spread_spec,
     )
-    spread.assert_parcels_conserved()
+    PARCELS_CONSERVED.require(spread)
     fig.add_series(
         "C taskbench spread + credits",
         Series(

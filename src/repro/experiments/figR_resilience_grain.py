@@ -45,6 +45,7 @@ from repro.core.characterize import default_partition_sweep
 from repro.dist import DistConfig, DistRunResult, FaultPlan, RetryParams
 from repro.experiments.config import Scale
 from repro.experiments.report import FigureResult, Series
+from repro.verify.invariants import PARCELS_CONSERVED
 
 FIGURE_ID = "figR"
 TITLE = "Resilience vs grain: faults move the U-curve minimum (simulated Haswell)"
@@ -153,7 +154,7 @@ def _run_one(
     outcome = run_dist_stencil(
         _dist_config(drop_rate), _stencil_config(scale, grain, steps)
     )
-    outcome.result.assert_parcels_conserved()
+    PARCELS_CONSERVED.require(outcome.result)
     return outcome.result
 
 

@@ -1,0 +1,193 @@
+"""Command-line driver: ``python -m repro.verify``.
+
+Subcommands::
+
+    python -m repro.verify fuzz --seeds 0:50            # the CI net (make fuzz)
+    python -m repro.verify fuzz --seeds 3,17 --out frz  # chosen seeds
+    python -m repro.verify fuzz --seeds 0:5 --plant thread   # self-test: prove
+                                                             # the net catches
+    python -m repro.verify replay frz/reproducer-3.json # re-run a shrunk spec
+    python -m repro.verify list-invariants              # the PF4xx catalogue
+
+``fuzz`` generates one :class:`WorkloadSpec` per seed, runs the full
+differential ladder on each, and — on any PF4xx finding — shrinks the spec
+to a minimal reproducer and writes it as JSON under ``--out``.  The seed
+list is fixed in the Makefile so CI failures reproduce locally verbatim;
+``--budget-s`` stops cleanly (and says so) if the corpus overruns its slot.
+
+Exit status mirrors ``repro.analysis``: 0 = clean, 1 = findings, 2 = usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.verify.harness import flip_fingerprint, verify_spec
+from repro.verify.invariants import INVARIANTS
+from repro.verify.shrink import shrink, spec_size
+from repro.verify.spec import WorkloadSpec, generate_spec
+
+
+def _parse_seeds(value: str) -> list[int]:
+    """``"0:50"`` -> range, ``"3,17,40"`` -> list, ``"7"`` -> [7]."""
+    value = value.strip()
+    if ":" in value:
+        lo_s, hi_s = value.split(":", 1)
+        lo, hi = int(lo_s), int(hi_s)
+        if hi <= lo:
+            raise ValueError(f"empty seed range {value!r}")
+        return list(range(lo, hi))
+    return [int(v) for v in value.split(",") if v.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential parity fuzzing across the repro runtimes.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="run seeded specs through the differential harness"
+    )
+    fuzz.add_argument(
+        "--seeds", default="0:50", metavar="SPEC",
+        help="'lo:hi' range or comma-separated list (default: 0:50)",
+    )
+    fuzz.add_argument(
+        "--budget-s", type=float, default=60.0, metavar="S",
+        help="wall-clock budget; stop (and say so) when exceeded",
+    )
+    fuzz.add_argument(
+        "--out", default="fuzz-reproducers", metavar="DIR",
+        help="directory for shrunk-reproducer JSON (default: fuzz-reproducers)",
+    )
+    fuzz.add_argument(
+        "--plant", default=None, metavar="BACKEND",
+        help="self-test hook: corrupt BACKEND's fingerprint (e.g. 'thread') "
+        "to prove the net catches and shrinks a planted divergence",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="re-run a reproducer (or bare WorkloadSpec) JSON file"
+    )
+    replay.add_argument("file", help="reproducer JSON written by fuzz")
+
+    sub.add_parser("list-invariants", help="print the PF4xx invariant catalogue")
+    return parser
+
+
+def _print_findings(findings: list[Finding]) -> None:
+    for f in findings:
+        print(f.format())
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    try:
+        seeds = _parse_seeds(args.seeds)
+    except ValueError as exc:
+        print(f"error: bad --seeds: {exc}", file=sys.stderr)
+        return 2
+    mutate = flip_fingerprint(args.plant) if args.plant else None
+    out_dir = Path(args.out)
+
+    started = time.monotonic()
+    ran, failures = 0, 0
+    for seed in seeds:
+        if time.monotonic() - started > args.budget_s:
+            print(
+                f"budget exhausted after {ran}/{len(seeds)} specs "
+                f"({args.budget_s:.0f} s) — remaining seeds NOT checked"
+            )
+            break
+        spec = generate_spec(seed)
+        report = verify_spec(spec, mutate=mutate)
+        ran += 1
+        if report.ok:
+            continue
+        failures += 1
+        print(f"seed {seed}: {len(report.findings)} finding(s), shrinking...")
+        _print_findings(report.findings)
+        result = shrink(
+            spec, lambda s: not verify_spec(s, mutate=mutate).ok
+        )
+        shrunk_report = verify_spec(result.spec, mutate=mutate)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"reproducer-{seed}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "fuzz_seed": seed,
+                    "planted": args.plant,
+                    "spec": result.spec.to_dict(),
+                    "findings": [f.to_dict() for f in shrunk_report.findings],
+                    "original_size": spec_size(spec),
+                    "shrunk_size": spec_size(result.spec),
+                    "shrink_steps": result.steps,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(
+            f"seed {seed}: shrunk size {spec_size(spec)} -> "
+            f"{spec_size(result.spec)} ({result.spec.total_tasks} task(s)) "
+            f"in {result.steps} step(s); wrote {path}"
+        )
+    elapsed = time.monotonic() - started
+    verdict = "all parity invariants held" if not failures else "DIVERGENCE"
+    print(
+        f"fuzz: {ran} spec(s), {failures} failing, "
+        f"{elapsed:.1f} s — {verdict}"
+    )
+    return 1 if failures else 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    if not path.is_file():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        data = json.loads(path.read_text())
+        planted = data.get("planted")
+        spec = WorkloadSpec.from_dict(data.get("spec", data))
+    except (ValueError, TypeError, KeyError) as exc:
+        print(f"error: bad reproducer {path}: {exc}", file=sys.stderr)
+        return 2
+    mutate = flip_fingerprint(planted) if planted else None
+    report = verify_spec(spec, mutate=mutate)
+    _print_findings(report.findings)
+    label = f"{spec.total_tasks} task(s), size {spec_size(spec)}"
+    if report.ok:
+        print(f"replay {path.name}: clean ({label})")
+        return 0
+    print(f"replay {path.name}: {len(report.findings)} finding(s) ({label})")
+    return 1
+
+
+def _run_list(_args: argparse.Namespace) -> int:
+    for inv in INVARIANTS.values():
+        print(f"{inv.rule_id}  {inv.name}: {inv.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
+    if args.command == "replay":
+        return _run_replay(args)
+    if args.command == "list-invariants":
+        return _run_list(args)
+    parser.print_usage(sys.stderr)
+    print("error: no subcommand given", file=sys.stderr)
+    return 2

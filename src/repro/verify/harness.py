@@ -1,0 +1,358 @@
+"""The differential harness: one spec, every backend, one verdict.
+
+A :class:`WorkloadSpec` is lowered onto each runtime exactly the way the
+Task Bench driver lowers its grids — same ``dataflow``/``async_`` calls,
+same work descriptors — except that instead of computing the literal ``1``
+every task computes a **structural hash** of its own position and its
+parents' values::
+
+    value(step, i) = stream_u64(seed, ROLE, phase, step, i, *parent_values)
+
+Fold those values over the whole grid and you get a *fingerprint* that
+pins the entire dependency wiring: reorder, drop, or rewire one edge
+anywhere and the fingerprint changes with probability ~1 - 2^-64.  The
+fingerprint is also computable from the spec alone (:func:`expected_result`
+— no runtime, just the recurrence), which turns "did the runtime wire the
+graph the spec describes?" into an integer comparison.
+
+:func:`verify_spec` then runs the ladder:
+
+1. **sim** (``Runtime``) — canonical reference; fingerprint vs the model
+   (PF403), task conservation (PF402);
+2. **sim rerun** — bit-identical time and counters (PF406);
+3. **sim with check=True** — the dynamic checker stays clean (PF405);
+4. **thread** (``ThreadRuntime``) — real OS threads must produce the same
+   structural result (PF407);
+5. **dist@1** (``DistRuntime``, one locality) — must agree with sim
+   *bit-exactly*: fingerprint, execution time, and every counter (PF407,
+   PF406), plus parcel conservation (PF401, trivially 0 == 0);
+6. **dist@N** (only when the spec says so) — the faulted multi-locality
+   run: parcel conservation under drops/duplicates (PF401), task and
+   dependency-order conservation end-to-end (PF402/PF403).
+
+``mutate`` is the planted-discrepancy hook the shrinker tests use: it may
+rewrite any backend's :class:`StructuralResult` before comparison, letting
+a test inject a synthetic semantic divergence and watch the net catch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.analysis.dynamic import CheckError
+from repro.analysis.findings import Finding
+from repro.dist.runtime import DistConfig, DistRuntime
+from repro.faults.plan import FaultPlan, stream_u64
+from repro.faults.transport import RetryParams
+from repro.runtime.runtime import RunResult, Runtime, RuntimeConfig
+from repro.runtime.task import Priority
+from repro.runtime.thread_executor import ThreadRuntime
+from repro.taskbench.driver import make_placement
+from repro.verify.invariants import (
+    ANALYSIS_CLEAN,
+    BACKENDS_AGREE,
+    DEPENDENCY_ORDER_CONSERVED,
+    PARCELS_CONSERVED,
+    RERUN_IDENTICAL,
+    TASKS_CONSERVED,
+)
+from repro.verify.spec import WorkloadSpec
+
+#: role tags for the structural hashes (disjoint from every other stream)
+_ROLE_VALUE = 0x80
+_ROLE_FOLD = 0x81
+_ROLE_PRIORITY = 0x82
+
+#: wall-clock ceiling for the thread backend's wait_idle
+THREAD_TIMEOUT_S = 60.0
+
+#: the mutate hook: (backend label, result) -> possibly-rewritten result
+MutateHook = Callable[[str, "StructuralResult"], "StructuralResult"]
+
+
+@dataclass(frozen=True)
+class StructuralResult:
+    """What a backend *computed*, independent of when it computed it."""
+
+    backend: str
+    total_tasks: int
+    #: futures that never became ready (0 on a correct run)
+    unready: int
+    #: XOR-fold of every task's position-keyed value hash
+    fingerprint: int
+    #: tasks the runtime reports having executed (== total_tasks when known)
+    tasks_executed: int
+
+
+@dataclass
+class VerifyReport:
+    """Everything :func:`verify_spec` learned about one spec."""
+
+    spec: WorkloadSpec
+    findings: list[Finding] = field(default_factory=list)
+    results: dict[str, StructuralResult] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _task_priority(seed: int, phase: int, step: int, index: int) -> Priority:
+    return Priority(stream_u64(seed, _ROLE_PRIORITY, phase, step, index) % 3)
+
+
+def _make_body(seed: int, phase: int, step: int, index: int):
+    def body(*parent_values: int) -> int:
+        return stream_u64(seed, _ROLE_VALUE, phase, step, index, *parent_values)
+
+    return body
+
+
+def build_verify_graph(rt, spec: WorkloadSpec, *, placement=None):
+    """Lower ``spec`` onto any runtime; returns ``[(phase, step, index,
+    future), ...]`` so the fold knows each future's grid position."""
+    entries = []
+    for phase, tb in enumerate(spec.taskbench_specs()):
+        prev = []
+        for step in range(tb.steps):
+            cur = []
+            for i in range(tb.width):
+                kwargs = {}
+                if placement is not None:
+                    kwargs["locality"] = placement(i)
+                if spec.use_priorities:
+                    kwargs["priority"] = _task_priority(spec.seed, phase, step, i)
+                body = _make_body(spec.seed, phase, step, i)
+                work = tb.kernel.work_for(step, i, tb.seed)
+                name = f"verify:{tb.pattern_name}[{phase}][{step}][{i}]"
+                deps = tb.dependencies(step, i)
+                if deps:
+                    f = rt.dataflow(
+                        body, [prev[j] for j in deps],
+                        work=work, name=name, **kwargs,
+                    )
+                else:
+                    f = rt.async_(body, work=work, name=name, **kwargs)
+                cur.append(f)
+                entries.append((phase, step, i, f))
+            prev = cur
+    return entries
+
+
+def _fold(spec: WorkloadSpec, backend: str, entries, tasks_executed: int):
+    fingerprint = 0
+    unready = 0
+    for phase, step, i, f in entries:
+        if not f.is_ready:
+            unready += 1
+            continue
+        fingerprint ^= stream_u64(
+            spec.seed, _ROLE_FOLD, phase, step, i, f.value
+        )
+    return StructuralResult(
+        backend=backend,
+        total_tasks=len(entries),
+        unready=unready,
+        fingerprint=fingerprint,
+        tasks_executed=tasks_executed,
+    )
+
+
+def expected_result(spec: WorkloadSpec) -> StructuralResult:
+    """The model: what *every* backend must compute, derived from the spec
+    alone by running the value recurrence in plain Python."""
+    fingerprint = 0
+    for phase, tb in enumerate(spec.taskbench_specs()):
+        prev: list[int] = []
+        for step in range(tb.steps):
+            cur = []
+            for i in range(tb.width):
+                parents = (prev[j] for j in tb.dependencies(step, i))
+                value = stream_u64(
+                    spec.seed, _ROLE_VALUE, phase, step, i, *parents
+                )
+                cur.append(value)
+                fingerprint ^= stream_u64(
+                    spec.seed, _ROLE_FOLD, phase, step, i, value
+                )
+            prev = cur
+    return StructuralResult(
+        backend="model",
+        total_tasks=spec.total_tasks,
+        unready=0,
+        fingerprint=fingerprint,
+        tasks_executed=spec.total_tasks,
+    )
+
+
+# -- backend runners ------------------------------------------------------------
+
+
+def _runtime_config(spec: WorkloadSpec, *, check: bool = False) -> RuntimeConfig:
+    return RuntimeConfig(
+        platform=spec.platform,
+        num_cores=spec.num_cores,
+        scheduler=spec.scheduler,
+        seed=spec.runtime_seed,
+        check=check,
+    )
+
+
+def run_sim(
+    spec: WorkloadSpec, *, check: bool = False
+) -> tuple[StructuralResult, RunResult]:
+    rt = Runtime(_runtime_config(spec, check=check))
+    entries = build_verify_graph(rt, spec)
+    result = rt.run()
+    return _fold(spec, "sim", entries, result.tasks_executed), result
+
+
+def run_threads(spec: WorkloadSpec) -> StructuralResult:
+    with ThreadRuntime(
+        num_workers=spec.num_cores, scheduler=spec.scheduler
+    ) as rt:
+        entries = build_verify_graph(rt, spec)
+        rt.wait_idle(timeout_s=THREAD_TIMEOUT_S)
+    ready = sum(1 for _, _, _, f in entries if f.is_ready)
+    return _fold(spec, "thread", entries, ready)
+
+
+def _dist_config(spec: WorkloadSpec, num_localities: int) -> DistConfig:
+    faulted = num_localities > 1 and spec.faults_active
+    return DistConfig(
+        num_localities=num_localities,
+        platform=spec.platform,
+        cores_per_locality=spec.num_cores,
+        scheduler=spec.scheduler,
+        seed=spec.runtime_seed,
+        faults=FaultPlan(
+            seed=spec.fault_seed,
+            drop_rate=spec.drop_rate,
+            duplicate_rate=spec.duplicate_rate,
+        )
+        if faulted
+        else None,
+        # a lossy wire needs the ack/retransmit protocol or it starves
+        retry=RetryParams() if faulted else None,
+    )
+
+
+def run_dist(spec: WorkloadSpec, num_localities: int):
+    dist = DistRuntime(_dist_config(spec, num_localities))
+    placement = make_placement(spec.placement, spec.width, num_localities)
+    entries = build_verify_graph(dist, spec, placement=placement)
+    result = dist.wait([f for _, _, _, f in entries])
+    structural = _fold(
+        spec, f"dist@{num_localities}", entries, result.tasks_executed
+    )
+    return structural, result
+
+
+# -- the differential ladder ----------------------------------------------------
+
+
+def verify_spec(
+    spec: WorkloadSpec, *, mutate: MutateHook | None = None
+) -> VerifyReport:
+    """Run ``spec`` through the whole backend ladder; every violated
+    invariant becomes a PF4xx finding in the report."""
+    report = VerifyReport(spec)
+    model = expected_result(spec)
+
+    def post(backend: str, structural: StructuralResult) -> StructuralResult:
+        if mutate is not None:
+            structural = mutate(backend, structural)
+        report.results[backend] = structural
+        return structural
+
+    # 1. canonical sim run: the reference every other backend must match
+    sim, sim_run = run_sim(spec)
+    sim = post("sim", sim)
+    report.findings += TASKS_CONSERVED.check(
+        spec.total_tasks, sim.unready, sim.tasks_executed
+    )
+    report.findings += DEPENDENCY_ORDER_CONSERVED.check(
+        model.fingerprint, sim.fingerprint, backend="sim"
+    )
+
+    # 2. rerun: same config, same spec — must replay bit-identically
+    rerun, rerun_run = run_sim(spec)
+    rerun = post("sim-rerun", rerun)
+    report.findings += RERUN_IDENTICAL.check(sim_run, rerun_run)
+    report.findings += BACKENDS_AGREE.check(sim, rerun)
+
+    # 3. the dynamic checker must stay clean on a well-formed graph
+    try:
+        run_sim(spec, check=True)
+    except CheckError as exc:
+        report.findings += ANALYSIS_CLEAN.check(str(exc), backend="sim")
+
+    # 4. real OS threads: same structure, no timing promises
+    thread = post("thread", run_threads(spec))
+    report.findings += BACKENDS_AGREE.check(sim, thread)
+
+    # 5. DistRuntime at one locality must agree with Runtime *bit-exactly*
+    dist1, dist1_run = run_dist(spec, 1)
+    dist1 = post("dist@1", dist1)
+    report.findings += BACKENDS_AGREE.check(sim, dist1)
+    report.findings += PARCELS_CONSERVED.check(dist1_run)
+    if dist1_run.execution_time_ns != sim_run.execution_time_ns:
+        report.findings.append(
+            Finding(
+                "PF407",
+                "backend divergence: DistRuntime@1 finished at "
+                f"{dist1_run.execution_time_ns} ns, Runtime at "
+                f"{sim_run.execution_time_ns} ns — single-locality "
+                "equivalence must be bit-exact",
+                file="<invariant>",
+            )
+        )
+    else:
+        sim_counters = dict(sim_run.counters.values)
+        dist_counters = dict(dist1_run.per_locality[0].values)
+        if sim_counters != dist_counters:
+            diff = sorted(
+                k
+                for k in set(sim_counters) | set(dist_counters)
+                if sim_counters.get(k) != dist_counters.get(k)
+            )
+            report.findings.append(
+                Finding(
+                    "PF407",
+                    "backend divergence: DistRuntime@1 counters differ "
+                    f"from Runtime on {', '.join(diff[:3])}"
+                    + (f" (+{len(diff) - 3} more)" if len(diff) > 3 else ""),
+                    file="<invariant>",
+                )
+            )
+
+    # 6. the faulted multi-locality leg (structure + conservation only:
+    #    timing legitimately differs once parcels cross the wire)
+    if spec.num_localities > 1:
+        distn, distn_run = run_dist(spec, spec.num_localities)
+        distn = post(f"dist@{spec.num_localities}", distn)
+        report.findings += TASKS_CONSERVED.check(
+            spec.total_tasks, distn.unready, distn.tasks_executed
+        )
+        report.findings += DEPENDENCY_ORDER_CONSERVED.check(
+            model.fingerprint, distn.fingerprint, backend=distn.backend
+        )
+        report.findings += PARCELS_CONSERVED.check(distn_run)
+
+    return report
+
+
+def flip_fingerprint(backend: str) -> MutateHook:
+    """A canned synthetic discrepancy: corrupt ``backend``'s fingerprint.
+
+    The planted-bug hook for tests and ``fuzz --plant``: proves the net
+    catches a single-bit semantic divergence and shrinks it.
+    """
+
+    def hook(label: str, result: StructuralResult) -> StructuralResult:
+        if label == backend:
+            return replace(result, fingerprint=result.fingerprint ^ 1)
+        return result
+
+    return hook

@@ -75,6 +75,20 @@ def test_select_and_ignore_filter_rules(tmp_path, capsys):
     assert main([str(bad), "--ignore", "TG105,TG102"]) == 0
 
 
+def test_select_and_ignore_are_prefix_matched(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(VIOLATION)
+    # 'TG' selects the whole static-lint family
+    assert main([str(bad), "--select", "TG"]) == 1
+    out = capsys.readouterr().out
+    assert "TG105" in out and "TG102" in out
+    # a prefix matching only runtime-reported families filters lint out
+    assert main([str(bad), "--select", "PF"]) == 0
+    assert main([str(bad), "--ignore", "TG"]) == 0
+    # prefix and exact entries compose
+    assert main([str(bad), "--ignore", "TG10"]) == 0
+
+
 def test_min_severity_threshold(tmp_path, capsys):
     bad = tmp_path / "bad.py"
     bad.write_text(VIOLATION)
@@ -86,7 +100,10 @@ def test_min_severity_threshold(tmp_path, capsys):
 def test_list_rules_catalogue(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("TG101", "TG102", "TG103", "TG104", "TG105", "GA201", "DC301"):
+    for rule_id in (
+        "TG101", "TG102", "TG103", "TG104", "TG105", "TG106",
+        "GA201", "DC301", "PF401", "PF407",
+    ):
         assert rule_id in out
 
 

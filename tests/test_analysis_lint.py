@@ -278,6 +278,115 @@ def test_tg105_future_passed_to_helper_is_clean():
     assert not findings_for(TG105_CLEAN_ESCAPES, "TG105")
 
 
+# -- TG106: nondeterministic source in a task body ---------------------------------
+
+TG106_RANDOM = """
+import random
+def body():
+    return random.random()
+f = rt.async_(body)
+rt.run()
+print(f.value)
+"""
+
+TG106_CLOCK = """
+import time
+f = rt.async_(lambda: time.monotonic())
+rt.run()
+print(f.value)
+"""
+
+TG106_DATETIME = """
+from datetime import datetime
+f = rt.async_(lambda: datetime.now())
+rt.run()
+print(f.value)
+"""
+
+TG106_CLEAN_DRIVER = """
+import time
+start = time.time()
+f = rt.async_(lambda: 1)
+rt.run()
+print(f.value, time.time() - start)
+"""
+
+TG106_CLEAN_SEEDED_STREAM = """
+from repro.faults.plan import stream_unit
+def body():
+    return stream_unit(7, 0x7C, 3, 1)
+f = rt.async_(body)
+rt.run()
+print(f.value)
+"""
+
+TG106_CLEAN_INJECTED = """
+def run_it(rt, random):
+    f = rt.async_(lambda: random.random())
+    rt.run()
+    return f.value
+"""
+
+TG106_CLEAN_RNG_OBJECT = """
+import random
+def run_it(rt, seed):
+    rng = random.Random(seed)
+    f = rt.async_(lambda: rng.random())
+    rt.run()
+    return f.value
+"""
+
+TG106_CLEAN_AWARE_NOW = """
+from datetime import datetime, timezone
+f = rt.async_(lambda: datetime.now(timezone.utc))
+rt.run()
+print(f.value)
+"""
+
+
+def test_tg106_global_random_in_task_body():
+    found = findings_for(TG106_RANDOM, "TG106")
+    assert len(found) == 1
+    assert "random.random()" in found[0].message
+    assert found[0].line == 4
+
+
+def test_tg106_clock_reads_in_task_body():
+    assert len(findings_for(TG106_CLOCK, "TG106")) == 1
+    assert len(findings_for(TG106_DATETIME, "TG106")) == 1
+
+
+def test_tg106_driver_timing_is_clean():
+    # Timing the run from driver code is the normal measurement pattern.
+    assert not findings_for(TG106_CLEAN_DRIVER, "TG106")
+
+
+def test_tg106_seeded_splitmix_stream_is_clean():
+    # The sanctioned determinism pattern: pure SplitMix64 streams.
+    assert not findings_for(TG106_CLEAN_SEEDED_STREAM, "TG106")
+
+
+def test_tg106_injected_rng_is_exempt():
+    # Dependency injection — even shadowing the module name — is exempt.
+    assert not findings_for(TG106_CLEAN_INJECTED, "TG106")
+    assert not findings_for(TG106_CLEAN_RNG_OBJECT, "TG106")
+
+
+def test_tg106_datetime_now_with_tz_is_clean():
+    # Only the *argless* datetime.now() is flagged.
+    assert not findings_for(TG106_CLEAN_AWARE_NOW, "TG106")
+
+
+def test_tg106_noqa_is_honored():
+    src = (
+        "import random\n"
+        "f = rt.async_(lambda: random.random())  # noqa: TG106\n"
+        "rt.run()\n"
+        "print(f.value)\n"
+    )
+    assert not findings_for(src, "TG106")
+
+
 # -- suppression syntax ------------------------------------------------------------
 
 

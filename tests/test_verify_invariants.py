@@ -1,0 +1,160 @@
+"""The PF4xx invariant objects: catalogue wiring, verdicts, legacy text."""
+
+import pytest
+
+from repro.analysis.findings import RULES, Severity
+from repro.counters.registry import CounterSnapshot
+from repro.dist.runtime import DistRunResult
+from repro.runtime.runtime import RunResult
+from repro.verify.invariants import (
+    ADMISSION_CONSERVED,
+    ANALYSIS_CLEAN,
+    DEPENDENCY_ORDER_CONSERVED,
+    INVARIANTS,
+    PARCELS_CONSERVED,
+    RERUN_IDENTICAL,
+    SPILL_CONSERVED,
+    TASKS_CONSERVED,
+)
+
+
+def _snapshot(values=None):
+    return CounterSnapshot(timestamp_ns=0, values=values or {}, average_pairs={})
+
+
+def _dist_result(**overrides) -> DistRunResult:
+    base = dict(
+        execution_time_ns=1_000,
+        counters=_snapshot(),
+        per_locality=(_snapshot(),),
+        platform_name="haswell",
+        num_localities=1,
+        cores_per_locality=2,
+        tasks_executed=4,
+        parcels_sent=0,
+        parcels_received=0,
+        bytes_sent=0,
+        serialization_time_ns=0,
+        network_wait_ns=0,
+        agas_cache_hits=0,
+        agas_cache_misses=0,
+        total_exec_ns=0,
+        total_mgmt_ns=0,
+    )
+    base.update(overrides)
+    return DistRunResult(**base)
+
+
+def _run_result(values=None, **overrides) -> RunResult:
+    base = dict(
+        execution_time_ns=1_000,
+        counters=_snapshot(values),
+        platform_name="haswell",
+        num_cores=2,
+        tasks_executed=4,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+# -- catalogue wiring --------------------------------------------------------------
+
+
+def test_every_invariant_rule_is_in_the_shared_catalogue():
+    for inv in INVARIANTS.values():
+        assert inv.rule_id in RULES
+        assert RULES[inv.rule_id].severity is Severity.ERROR
+
+
+def test_findings_resolve_severity_through_the_catalogue():
+    findings = ADMISSION_CONSERVED.check(10, 4, 5)
+    assert len(findings) == 1
+    assert findings[0].rule_id == "PF404"
+    assert findings[0].severity is Severity.ERROR
+
+
+# -- PF401: parcel conservation ----------------------------------------------------
+
+
+def test_parcels_conserved_holds_on_balanced_books():
+    result = _dist_result(
+        parcels_sent=7, parcels_retransmitted=2,
+        parcels_received=6, parcels_dropped=2, duplicates_discarded=1,
+    )
+    assert PARCELS_CONSERVED.holds(result)
+    assert PARCELS_CONSERVED.check(result) == []
+
+
+def test_parcels_conserved_failure_text_is_the_legacy_text():
+    """Regression: the shared invariant must raise the *identical* message
+    the hand-rolled ``assert_parcels_conserved`` raised before extraction —
+    both via ``require`` and via the method that now delegates to it."""
+    result = _dist_result(
+        parcels_sent=3, parcels_retransmitted=1,
+        parcels_received=2, parcels_dropped=0, duplicates_discarded=0,
+    )
+    expected = (
+        "parcel conservation violated: 3 sent + 1 retransmitted != "
+        "2 received + 0 dropped + 0 duplicates discarded"
+    )
+    with pytest.raises(AssertionError) as via_invariant:
+        PARCELS_CONSERVED.require(result)
+    assert str(via_invariant.value) == expected
+    with pytest.raises(AssertionError) as via_method:
+        result.assert_parcels_conserved()
+    assert str(via_method.value) == expected
+
+
+# -- PF402 / PF403 -----------------------------------------------------------------
+
+
+def test_tasks_conserved_verdicts():
+    assert TASKS_CONSERVED.holds(12, 0, 12)
+    assert "never became ready" in TASKS_CONSERVED.check(12, 3, 9)[0].message
+    assert "executed 13" in TASKS_CONSERVED.check(12, 0, 13)[0].message
+
+
+def test_dependency_order_verdicts():
+    assert DEPENDENCY_ORDER_CONSERVED.holds(0xAB, 0xAB)
+    found = DEPENDENCY_ORDER_CONSERVED.check(0xAB, 0xAC, backend="thread")
+    assert found[0].rule_id == "PF403"
+    assert "thread" in found[0].message
+
+
+# -- PF404: counter identities -----------------------------------------------------
+
+
+def test_admission_conserved_verdicts():
+    assert ADMISSION_CONSERVED.holds(10, 7, 3)
+    assert not ADMISSION_CONSERVED.holds(10, 7, 2)
+
+
+def test_spill_conserved_reads_the_overload_counters():
+    good = _run_result(
+        {"/overload/count/spilled": 4.0, "/overload/count/readmitted": 4.0}
+    )
+    bad = _run_result(
+        {"/overload/count/spilled": 4.0, "/overload/count/readmitted": 3.0}
+    )
+    assert SPILL_CONSERVED.holds(good)
+    assert "spill conservation violated" in SPILL_CONSERVED.check(bad)[0].message
+
+
+# -- PF405 / PF406 -----------------------------------------------------------------
+
+
+def test_analysis_clean_passes_none_through():
+    assert ANALYSIS_CLEAN.holds(None)
+    assert "DC301" in ANALYSIS_CLEAN.check("DC301: leaked", backend="sim")[0].message
+
+
+def test_rerun_identical_compares_time_then_counters():
+    a = _run_result({"/threads/count/cumulative": 4.0})
+    same = _run_result({"/threads/count/cumulative": 4.0})
+    slower = _run_result(
+        {"/threads/count/cumulative": 4.0}, execution_time_ns=2_000
+    )
+    other = _run_result({"/threads/count/cumulative": 5.0})
+    assert RERUN_IDENTICAL.holds(a, same)
+    assert "execution time" in RERUN_IDENTICAL.check(a, slower)[0].message
+    assert "counters differ" in RERUN_IDENTICAL.check(a, other)[0].message

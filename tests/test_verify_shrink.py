@@ -1,0 +1,91 @@
+"""Hypothesis property tests for the spec shrinker.
+
+Three laws over the generator's whole corpus:
+
+- **monotone** — every candidate, and every accepted step of a descent,
+  strictly reduces ``spec_size`` (this is the termination argument);
+- **terminates** — a descent takes at most ``size - 1`` accepted steps and
+  never spins (pinned structurally, not with a timeout);
+- **violation-preserving** — the shrunk spec still violates the predicate
+  it was shrunk against, including a real harness-planted discrepancy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.shrink import shrink, shrink_candidates, spec_size
+from repro.verify.spec import generate_spec
+
+#: the same corpus the fuzz CLI draws from
+specs = st.integers(min_value=0, max_value=5_000).map(generate_spec)
+
+
+@given(specs)
+@settings(max_examples=60, deadline=None)
+def test_every_candidate_strictly_reduces_size(spec):
+    base = spec_size(spec)
+    for candidate in shrink_candidates(spec):
+        assert spec_size(candidate) < base
+
+
+@given(specs)
+@settings(max_examples=60, deadline=None)
+def test_candidates_are_always_valid_specs(spec):
+    for candidate in shrink_candidates(spec):
+        # __post_init__ already ran; re-serialize to prove self-description
+        assert type(spec).from_json(candidate.to_json()) == candidate
+
+
+@given(specs)
+@settings(max_examples=40, deadline=None)
+def test_descent_is_monotone_and_terminates(spec):
+    # "always violating" forces the longest possible descent
+    result = shrink(spec, lambda s: True)
+    sizes = [spec_size(s) for s in result.trail]
+    assert sizes == sorted(sizes, reverse=True)
+    assert len(set(sizes)) == len(sizes)  # strictly decreasing
+    assert result.steps <= spec_size(spec) - 1  # the termination bound
+    assert spec_size(result.spec) == 1  # nothing blocks full descent
+    assert result.spec.total_tasks == 1
+
+
+@given(specs)
+@settings(max_examples=40, deadline=None)
+def test_shrunk_spec_still_violates_the_predicate(spec):
+    # a family of predicates the descent must preserve while minimizing
+    predicates = [
+        lambda s: True,
+        lambda s: s.width >= 1,
+        lambda s: s.steps * s.width >= 2,
+        lambda s: s.patterns[0] == spec.patterns[0],
+    ]
+    for violates in predicates:
+        if not violates(spec):
+            continue
+        result = shrink(spec, violates)
+        assert violates(result.spec)
+
+
+@given(specs)
+@settings(max_examples=30, deadline=None)
+def test_descent_is_deterministic(spec):
+    violates = lambda s: s.total_tasks >= 2  # noqa: E731
+    if not violates(spec):
+        return
+    assert shrink(spec, violates) == shrink(spec, violates)
+
+
+def test_shrinking_a_seeded_synthetic_discrepancy():
+    """The harness-integrated version: the predicate is 'the planted
+    divergence still reproduces', and it must survive minimization."""
+    from repro.verify.harness import flip_fingerprint, verify_spec
+
+    mutate = flip_fingerprint("thread")
+    spec = generate_spec(17)
+    violates = lambda s: not verify_spec(s, mutate=mutate).ok  # noqa: E731
+    assert violates(spec)
+    result = shrink(spec, violates)
+    assert violates(result.spec)
+    assert result.spec.total_tasks <= 4
+    sizes = [spec_size(s) for s in result.trail]
+    assert sizes == sorted(sizes, reverse=True) and len(set(sizes)) == len(sizes)

@@ -1,0 +1,115 @@
+"""WorkloadSpec: seeded generation, validation, and the JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.taskbench.patterns import PATTERNS
+from repro.verify.spec import (
+    COARSE_GRAIN_NS,
+    GENERATOR_SCHEDULERS,
+    WorkloadSpec,
+    generate_spec,
+)
+
+
+def test_generation_is_deterministic():
+    assert generate_spec(42) == generate_spec(42)
+    assert generate_spec(41) != generate_spec(42)
+
+
+def test_generated_specs_are_always_valid():
+    # __post_init__ raises on any invalid combination; 200 seeds must pass.
+    for seed in range(200):
+        spec = generate_spec(seed)
+        assert spec.total_tasks >= 1
+        assert spec.size() >= 1
+
+
+def test_corpus_is_diverse():
+    """The first 50 seeds must exercise the interesting axes, or the fuzz
+    net silently stops covering them."""
+    specs = [generate_spec(seed) for seed in range(50)]
+    patterns = {name for s in specs for name in s.patterns}
+    assert len(patterns) >= 6  # most of the 8-pattern catalogue
+    assert {s.scheduler for s in specs} == set(GENERATOR_SCHEDULERS)
+    assert any(s.use_priorities for s in specs)
+    assert any(not s.use_priorities for s in specs)
+    assert any(s.num_localities > 1 for s in specs)
+    assert any(s.faults_active for s in specs)
+    assert any(s.kernel == "imbalanced" for s in specs)
+    assert any(len(s.patterns) > 1 for s in specs)
+
+
+def test_json_round_trip():
+    spec = generate_spec(7)
+    assert WorkloadSpec.from_json(spec.to_json()) == spec
+    # and via plain dicts, as the reproducer files store it
+    assert WorkloadSpec.from_dict(json.loads(spec.to_json())) == spec
+
+
+def test_total_tasks_counts_every_phase():
+    spec = WorkloadSpec(patterns=("trivial", "serial_chain"), width=4, steps=3)
+    assert spec.total_tasks == 2 * 4 * 3
+
+
+def test_phase_seeds_differ_even_for_repeated_patterns():
+    spec = WorkloadSpec(patterns=("random_nearest", "random_nearest"), width=4)
+    tbs = spec.taskbench_specs()
+    assert tbs[0].seed != tbs[1].seed
+
+
+def test_size_counts_each_complication_once():
+    base = WorkloadSpec(width=2, steps=1, grain_ns=COARSE_GRAIN_NS)
+    assert base.size() == 2
+    loaded = WorkloadSpec(
+        width=2,
+        steps=1,
+        grain_ns=500,
+        use_priorities=True,
+        num_localities=2,
+        drop_rate=0.05,
+    )
+    # 2 tasks + fine grain + priorities + extra locality + faults
+    assert loaded.size() == 6
+
+
+def test_faults_only_count_on_the_wire():
+    # drop_rate without a second locality never touches anything
+    spec = WorkloadSpec(width=2, steps=1, drop_rate=0.5, num_localities=1)
+    assert not spec.faults_active
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"patterns": ()},
+        {"patterns": ("no-such-pattern",)},
+        {"patterns": ("fft",), "width": 3},  # fft needs a power of two
+        {"steps": 0},
+        {"grain_ns": 0},
+        {"kernel": "gpu"},
+        {"num_localities": 0},
+        {"num_localities": 8, "width": 4},
+        {"placement": "random"},
+        {"drop_rate": 1.0},
+        {"duplicate_rate": -0.1},
+    ],
+)
+def test_validation_rejects(bad):
+    with pytest.raises(ValueError):
+        WorkloadSpec(**bad)
+
+
+def test_generator_widths_admit_fft():
+    # every generated width must be a power of two (fft admissibility)
+    for seed in range(100):
+        w = generate_spec(seed).width
+        assert w & (w - 1) == 0
+
+
+def test_pattern_catalogue_is_the_generators_universe():
+    # guard: a new pattern added to taskbench should enter the corpus
+    from repro.verify.spec import GENERATOR_PATTERNS
+
+    assert set(GENERATOR_PATTERNS) == set(PATTERNS)
