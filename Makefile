@@ -39,5 +39,5 @@ experiments-report:
 	PYTHONPATH=src python -m repro.experiments.cli all --scale bench --no-plots --markdown EXPERIMENTS.generated.md
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info fuzz-reproducers
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info fuzz-reproducers BENCH_*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

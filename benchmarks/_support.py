@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+import time
+
+from repro.experiments import benchlog
+from repro.runtime.task import tasks_created
+
 
 def run_figure_benchmark(benchmark, module, scale, **run_kwargs):
     """Run ``module.run(scale)`` under pytest-benchmark once, print the
-    reproduced series, and fail on any shape-check violation."""
+    reproduced series, fail on any shape-check violation, and log wall
+    time + simulated-task count to the ``BENCH_<rev>.json`` session log."""
+    tasks_before = tasks_created()
+    start = time.perf_counter()
     fig = benchmark.pedantic(
         lambda: module.run(scale, **run_kwargs), rounds=1, iterations=1
+    )
+    benchlog.record(
+        getattr(module, "FIGURE_ID", module.__name__.rsplit(".", 1)[-1]),
+        wall_s=time.perf_counter() - start,
+        tasks=tasks_created() - tasks_before,
+        scale=scale.name,
     )
     print()
     print(fig.render(plots=False))

@@ -1,0 +1,15 @@
+"""figQ: QoS priority isolation under background overload.
+
+See the module docstring of ``repro.experiments.figQ_qos_isolation`` for
+the claims (the interactive tenant's p99 stays within 1.5x of its 1x-load
+value at 4x offered load while the batch tenant absorbs the shedding; the
+class-blind baseline inflates the interactive tail; everything conserving
+and bit-reproducible) the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figQ_qos_isolation
+
+
+def test_figQ_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figQ_qos_isolation, bench_scale)

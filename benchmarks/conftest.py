@@ -23,3 +23,12 @@ from repro.experiments.config import get_scale
 @pytest.fixture(scope="session")
 def bench_scale():
     return get_scale("bench")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-revision BENCH_<rev>.json performance trail."""
+    from repro.experiments import benchlog
+
+    path = benchlog.write(session.config.rootpath)
+    if path is not None:
+        print(f"\nwrote {path}")

@@ -502,10 +502,13 @@ class DistRuntime:
         work: WorkDescriptor | None = None,
         name: str = "",
         priority: Priority = Priority.NORMAL,
+        qos: Any | None = None,
     ) -> Future:
         """``hpx::async`` with explicit locality placement."""
         loc = self.localities[locality]
-        f = loc.runtime.async_(fn, *args, work=work, name=name, priority=priority)
+        f = loc.runtime.async_(
+            fn, *args, work=work, name=name, priority=priority, qos=qos
+        )
         self._owner[f.future_id] = locality
         return f
 
@@ -518,6 +521,7 @@ class DistRuntime:
         work: WorkDescriptor | None = None,
         name: str = "",
         priority: Priority = Priority.NORMAL,
+        qos: Any | None = None,
     ) -> Future:
         """``hpx::dataflow`` on ``locality``; remote deps become parcels.
 
@@ -531,7 +535,9 @@ class DistRuntime:
         """
         deps = [self._localize(d, locality) for d in dependencies]
         loc = self.localities[locality]
-        f = loc.runtime.dataflow(fn, deps, work=work, name=name, priority=priority)
+        f = loc.runtime.dataflow(
+            fn, deps, work=work, name=name, priority=priority, qos=qos
+        )
         self._owner[f.future_id] = locality
         return f
 

@@ -1,0 +1,96 @@
+"""Machine-readable benchmark log: ``BENCH_<rev>.json``.
+
+``make bench`` (``pytest benchmarks/ --benchmark-only``) reproduces one
+paper artifact per benchmark and asserts its shape checks, but the wall
+time and task-count trail used to live only in pytest-benchmark's
+terminal table.  This module collects one :class:`BenchRecord` per
+figure run — experiment name, wall-clock seconds, simulated-task count,
+scale — and writes them as ``BENCH_<git short rev>.json`` next to the
+repo root when the benchmark session finishes, so CI can archive a
+per-revision performance trail and regressions show up as a diff
+between two small JSON files.
+
+The plumbing: :func:`run_figure_benchmark <benchmarks._support.
+run_figure_benchmark>` calls :func:`record` around every figure run,
+and ``benchmarks/conftest.py`` calls :func:`write` from
+``pytest_sessionfinish``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["BenchRecord", "RECORDS", "git_revision", "record", "reset", "write"]
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmarked figure run."""
+
+    experiment: str
+    #: wall-clock seconds for ``module.run(scale)``
+    wall_s: float
+    #: simulated tasks created during the run (across all its sub-runs)
+    tasks: int
+    scale: str
+
+
+#: the session accumulator ``write()`` drains
+RECORDS: list[BenchRecord] = []
+
+
+def record(
+    experiment: str, wall_s: float, tasks: int, scale: str = "bench"
+) -> BenchRecord:
+    """Append one run to the session log and return it."""
+    rec = BenchRecord(
+        experiment=experiment,
+        wall_s=round(float(wall_s), 4),
+        tasks=int(tasks),
+        scale=scale,
+    )
+    RECORDS.append(rec)
+    return rec
+
+
+def reset() -> None:
+    """Drop accumulated records (test isolation)."""
+    RECORDS.clear()
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The short git revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def write(
+    directory: str | Path = ".", revision: str | None = None
+) -> Path | None:
+    """Write ``BENCH_<rev>.json`` into ``directory``; ``None`` when the
+    session recorded nothing (e.g. ``-k`` deselected every benchmark)."""
+    if not RECORDS:
+        return None
+    rev = revision if revision is not None else git_revision(directory)
+    path = Path(directory) / f"BENCH_{rev}.json"
+    payload = {
+        "revision": rev,
+        "records": [asdict(r) for r in sorted(RECORDS, key=lambda r: r.experiment)],
+        "total_wall_s": round(sum(r.wall_s for r in RECORDS), 4),
+        "total_tasks": sum(r.tasks for r in RECORDS),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

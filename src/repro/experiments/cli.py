@@ -37,6 +37,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "figR": "repro.experiments.figR_resilience_grain",
     "figT": "repro.experiments.figT_taskbench_metg",
     "figO": "repro.experiments.figO_overload",
+    "figQ": "repro.experiments.figQ_qos_isolation",
     "selection": "repro.experiments.selection_experiment",
     "tuner": "repro.experiments.tuner_experiment",
     "ablation": "repro.experiments.ablations",

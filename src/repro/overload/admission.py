@@ -15,11 +15,15 @@ queue:
     ``/overload/time/backpressure-blocked``.
 
 ``shed``
-    The lowest-priority staged task (newest among ties) is rejected with
+    The least-protected staged task (newest among ties) is rejected with
     a typed :class:`~repro.overload.errors.TaskShedError`; if nothing
-    staged has lower priority than the newcomer, the newcomer itself is
-    shed.  Shedding bounds completion time as well as memory: offered
-    work that cannot be absorbed is dropped instead of queued.
+    staged is less protected than the newcomer, the newcomer itself is
+    shed.  Protection is queue priority first, then QoS class standing
+    (shed eligibility, then class rank — see
+    :meth:`AdmissionControl._shed_key`), so under multi-tenant overload
+    low-QoS work is dropped before high-QoS work at equal priority.
+    Shedding bounds completion time as well as memory: offered work that
+    cannot be absorbed is dropped instead of queued.
 
 ``spill``
     The task moves to an unbounded *cold* queue (a description, not a
@@ -194,20 +198,38 @@ class AdmissionControl:
 
     # -- helpers --------------------------------------------------------
 
+    @staticmethod
+    def _shed_key(task: "Task") -> tuple[int, int, int]:
+        """Composite eviction-resistance key; lower keys are shed first.
+
+        Queue priority dominates (preserving pre-QoS behaviour exactly for
+        unclassed workloads), then QoS standing among equal priorities: a
+        shed-ineligible class outranks every eligible one, and within the
+        eligible a higher class ``rank`` resists eviction longer.  Tasks
+        without a QoS class tie with an eligible rank-0 class.
+        """
+        qos = task.qos
+        if qos is None:
+            return (int(task.priority), 0, 0)
+        return (int(task.priority), 0 if qos.shed_eligible else 1, qos.rank)
+
     def _lowest_priority_staged(
         self, queue: "DualQueue", incoming: "Task"
     ) -> "Task | None":
         """The staged task to evict in favour of ``incoming``, if any.
 
-        Picks the minimum-priority staged task, newest among ties, but
-        only if it is *strictly* lower priority than ``incoming`` — ties
-        shed the newcomer, preserving arrival order fairness.
+        Picks the staged task with the minimum :meth:`_shed_key` (queue
+        priority, then QoS class standing), newest among ties, but only if
+        its key is *strictly* lower than ``incoming``'s — ties shed the
+        newcomer, preserving arrival-order fairness within a class.
         """
         victim = None
+        victim_key = None
         for task in reversed(queue._staged):
-            if victim is None or task.priority < victim.priority:
-                victim = task
-        if victim is not None and victim.priority < incoming.priority:
+            key = self._shed_key(task)
+            if victim_key is None or key < victim_key:
+                victim, victim_key = task, key
+        if victim is not None and victim_key < self._shed_key(incoming):
             return victim
         return None
 

@@ -73,6 +73,11 @@ class GovernorSignals:
     depth_per_worker: float  #: peak staged+pending depth per worker
     pending_miss_rate: float  #: misses / accesses (Figs. 9/10 signal)
     shed_fraction: float  #: shed / offered (0 when admission off)
+    #: shed / arrived among the *highest-rank* QoS tenants (0 without a
+    #: QoS layer).  Class-aware shedding drops low-QoS work first, so any
+    #: nonzero value here means overload has eaten through every buffer
+    #: the class ladder provides — the strongest signal the governor sees.
+    high_qos_shed_fraction: float = 0.0
 
     @classmethod
     def from_run(cls, result: "RunResult") -> "GovernorSignals":
@@ -83,6 +88,7 @@ class GovernorSignals:
         accesses = result.pending_accesses
         offered = counters.get("/overload/count/offered")
         peak = counters.get("/overload/count/peak-queue-depth@gauge")
+        high_arrived = counters.get("/qos/count/high-arrived")
         return cls(
             idle_rate=result.idle_rate,
             overhead_ratio=(t_o / t_d) if t_d > 0 else 0.0,
@@ -93,6 +99,11 @@ class GovernorSignals:
             shed_fraction=(
                 counters.get("/overload/count/shed") / offered
                 if offered > 0
+                else 0.0
+            ),
+            high_qos_shed_fraction=(
+                counters.get("/qos/count/high-shed") / high_arrived
+                if high_arrived > 0
                 else 0.0
             ),
         )
@@ -131,6 +142,19 @@ class OverloadGovernor:
             signals.shed_fraction > 0.0
             or signals.depth_per_worker >= p.depth_high
         )
+        if signals.high_qos_shed_fraction > 0.0:
+            # Shedding highest-rank work means the class ladder's buffers
+            # are exhausted: coarsen unconditionally (if headroom remains)
+            # — larger grains cut per-task management cost, which is the
+            # only capacity the governor can recover for premium traffic.
+            new_grain = min(int(self.grain_ns * p.grain_step), p.max_grain_ns)
+            if new_grain > self.grain_ns:
+                self.grain_ns = new_grain
+                return self._record(
+                    "coarsen",
+                    f"high-QoS shed fraction "
+                    f"{signals.high_qos_shed_fraction:.2%} > 0",
+                )
         if signals.overhead_ratio > p.overhead_high and (
             overloaded or signals.idle_rate > p.idle_high
         ):

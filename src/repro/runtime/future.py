@@ -242,6 +242,7 @@ def dataflow(
     work: WorkDescriptor | None = None,
     name: str = "",
     priority: Priority = Priority.NORMAL,
+    qos: Any | None = None,
 ) -> Future:
     """Spawn ``fn(*values)`` as a task once every dependency is ready.
 
@@ -267,7 +268,10 @@ def dataflow(
         if failed is not None:
             result.set_exception(failed.exception)  # type: ignore[arg-type]
             return
-        task = Task(body, work=work or NoWork(), name=result.name, priority=priority)
+        task = Task(
+            body, work=work or NoWork(), name=result.name, priority=priority,
+            qos=qos,
+        )
         task.failure_hook = result.set_exception
         spawner.spawn(task)
 

@@ -235,6 +235,7 @@ class Runtime:
         work: WorkDescriptor | None = None,
         name: str = "",
         priority: Priority = Priority.NORMAL,
+        qos: Any | None = None,
         worker: int | None = None,
     ) -> Future:
         """``hpx::async``: launch ``fn(*args)`` as a task, get its future."""
@@ -248,7 +249,7 @@ class Runtime:
             else:
                 result.set_value(value)
 
-        task = Task(body, work=work, name=result.name, priority=priority)
+        task = Task(body, work=work, name=result.name, priority=priority, qos=qos)
         task.failure_hook = result.set_exception
         if self.checker is not None:
             self.checker.register_future(result)
@@ -263,10 +264,12 @@ class Runtime:
         work: WorkDescriptor | None = None,
         name: str = "",
         priority: Priority = Priority.NORMAL,
+        qos: Any | None = None,
     ) -> Future:
         """``hpx::dataflow``: run ``fn`` on dependency values when all ready."""
         result = _dataflow(
-            self, fn, dependencies, work=work, name=name, priority=priority
+            self, fn, dependencies, work=work, name=name, priority=priority,
+            qos=qos,
         )
         if self.checker is not None:
             self.checker.register_future(result)

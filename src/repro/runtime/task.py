@@ -21,7 +21,6 @@ resumption is a new phase, mirroring HPX's cooperative yield.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Any, Callable
 
 from repro.runtime.work import NoWork, WorkDescriptor
@@ -55,7 +54,38 @@ _ALLOWED_TRANSITIONS: dict[TaskState, frozenset[TaskState]] = {
     TaskState.TERMINATED: frozenset(),
 }
 
-_task_ids = itertools.count(1)
+class _TaskIdSource:
+    """1-based task-id counter whose position can be read without consuming.
+
+    ``next(...)`` hands out ids exactly like ``itertools.count(1)`` did;
+    :func:`tasks_created` peeks at how many tasks have been constructed so
+    far process-wide, which is what ``BENCH_<rev>.json`` records per
+    experiment (a cheap proxy for workload size alongside wall time).
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def __iter__(self) -> "_TaskIdSource":
+        return self
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def created(self) -> int:
+        return self._next - 1
+
+
+_task_ids = _TaskIdSource()
+
+
+def tasks_created() -> int:
+    """Total :class:`Task` objects constructed so far in this process."""
+    return _task_ids.created()
 
 
 class Task:
@@ -72,6 +102,7 @@ class Task:
         "fn",
         "work",
         "priority",
+        "qos",
         "state",
         "phases",
         "exec_ns",
@@ -91,12 +122,17 @@ class Task:
         work: WorkDescriptor | None = None,
         name: str = "",
         priority: Priority = Priority.NORMAL,
+        qos: Any | None = None,
     ) -> None:
         self.task_id: int = next(_task_ids)
         self.name = name or f"task#{self.task_id}"
         self.fn = fn
         self.work: WorkDescriptor = work if work is not None else NoWork()
         self.priority = priority
+        #: optional :class:`repro.qos.QosClass`; None for single-class
+        #: workloads.  Schedulers and admission control that are not
+        #: QoS-aware ignore it entirely.
+        self.qos = qos
         self.state = TaskState.STAGED
         #: activations so far (first run + resumes); the phase counters
         self.phases: int = 0

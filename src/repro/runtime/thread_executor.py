@@ -196,6 +196,7 @@ class ThreadRuntime:
         *args: Any,
         name: str = "",
         priority: Priority = Priority.NORMAL,
+        qos: Any | None = None,
         work: WorkDescriptor | None = None,
     ) -> Future:
         """Launch ``fn(*args)`` on the pool; returns its future."""
@@ -211,7 +212,9 @@ class ThreadRuntime:
 
         if self.checker is not None:
             self.checker.register_future(result)
-        self.spawn(Task(body, work=work, name=result.name, priority=priority))
+        self.spawn(
+            Task(body, work=work, name=result.name, priority=priority, qos=qos)
+        )
         return result
 
     def dataflow(
@@ -221,6 +224,7 @@ class ThreadRuntime:
         *,
         name: str = "",
         priority: Priority = Priority.NORMAL,
+        qos: Any | None = None,
         work: WorkDescriptor | None = None,
     ) -> Future:
         """Run ``fn`` on the dependency values once all are ready."""
@@ -243,7 +247,9 @@ class ThreadRuntime:
                 # woken: a dependency failing must never hang a join.
                 self._set_exception(result, failed.exception)  # type: ignore[arg-type]
                 return
-            self.spawn(Task(body, work=work, name=result.name, priority=priority))
+            self.spawn(
+                Task(body, work=work, name=result.name, priority=priority, qos=qos)
+            )
 
         if self.checker is not None:
             self.checker.register_future(result)

@@ -29,6 +29,15 @@ from repro.schedulers.variants import (
     StaticScheduler,
 )
 
+def _make_qos_scheduler() -> SchedulingPolicy:
+    # Imported lazily: repro.qos sits *above* this package in the layering
+    # (it builds on schedulers, counters and stats), so the registry refers
+    # to it by factory instead of importing it at module load.
+    from repro.qos.scheduler import QosBucketScheduler
+
+    return QosBucketScheduler()
+
+
 #: Registry of scheduler constructors by command-line name.
 SCHEDULERS = {
     "priority-local": PriorityLocalScheduler,
@@ -36,6 +45,7 @@ SCHEDULERS = {
     "static": StaticScheduler,
     "global-queue": GlobalQueueScheduler,
     "numa-blind": NumaBlindStealingScheduler,
+    "qos": _make_qos_scheduler,
 }
 
 

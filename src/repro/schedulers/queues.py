@@ -105,6 +105,23 @@ class DualQueue:
 
     # -- introspection (no access counted; used for termination checks) --------
 
+    def head_created_ns(self) -> int | None:
+        """Earliest ``created_ns`` among the queue heads, or None if hot-empty.
+
+        Introspection for deadline-ordered root selection (the QoS bucket
+        scheduler): both lanes are FIFO, so their heads are the oldest
+        entries and the minimum over them is the queue's earliest arrival.
+        No access is counted — this is a peek, not a scheduling attempt.
+        """
+        head = None
+        if self._pending:
+            head = self._pending[0].created_ns
+        if self._staged:
+            staged_head = self._staged[0].created_ns
+            if head is None or staged_head < head:
+                head = staged_head
+        return head
+
     @property
     def pending_len(self) -> int:
         return len(self._pending)

@@ -81,3 +81,53 @@ class SampleStats:
 def describe(samples: Sequence[float]) -> SampleStats:
     """Convenience wrapper for :meth:`SampleStats.from_samples`."""
     return SampleStats.from_samples(samples)
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Exact nearest-rank quantile: the smallest sample x such that at
+    least ``ceil(q * n)`` samples are <= x.
+
+    No interpolation: the result is always an element of ``samples``, so
+    a reported p99 is a latency some request actually experienced — the
+    convention tail-latency SLOs are written against.  ``q`` must lie in
+    (0, 1]; ``q=1.0`` is the maximum, and any ``q <= 1/n`` the minimum.
+    Raises :class:`ValueError` on an empty sequence or out-of-range ``q``.
+    """
+    if not samples:
+        raise ValueError("quantile() of empty sequence")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile q must be in (0, 1], got {q}")
+    ordered = sorted(samples)
+    return ordered[_nearest_rank(q, len(ordered)) - 1]
+
+
+def _nearest_rank(q: float, n: int) -> int:
+    """1-based nearest rank ``ceil(q * n)``, robust to float noise.
+
+    ``0.999 * 1000`` is ``999.0000000000001`` in binary, whose plain ceil
+    (1000) would silently turn a p999 into the maximum; the epsilon
+    restores the mathematically intended rank.
+    """
+    return max(1, math.ceil(q * n - 1e-9))
+
+
+def percentiles(
+    samples: Sequence[float], ps: Iterable[float] = (50.0, 99.0, 99.9)
+) -> dict[float, float]:
+    """Nearest-rank percentiles keyed by the requested percentile.
+
+    ``ps`` are percentages in (0, 100]; the default triple is the
+    p50/p99/p999 set the QoS layer reports per tenant.  One sort is
+    shared across all requested points.
+    """
+    pts = list(ps)
+    if not samples:
+        raise ValueError("percentiles() of empty sequence")
+    ordered = sorted(samples)
+    n = len(ordered)
+    out: dict[float, float] = {}
+    for p in pts:
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        out[p] = ordered[_nearest_rank(p / 100.0, n) - 1]
+    return out

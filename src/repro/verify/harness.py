@@ -63,6 +63,7 @@ from repro.verify.spec import WorkloadSpec
 _ROLE_VALUE = 0x80
 _ROLE_FOLD = 0x81
 _ROLE_PRIORITY = 0x82
+_ROLE_QOS = 0x83
 
 #: wall-clock ceiling for the thread backend's wait_idle
 THREAD_TIMEOUT_S = 60.0
@@ -102,6 +103,21 @@ def _task_priority(seed: int, phase: int, step: int, index: int) -> Priority:
     return Priority(stream_u64(seed, _ROLE_PRIORITY, phase, step, index) % 3)
 
 
+def qos_classes_for(spec: WorkloadSpec):
+    """The class palette a ``use_qos`` spec draws from: the top
+    ``num_qos_classes`` of the three default tiers (interactive always
+    included, so warp-on-wakeup is always exercised)."""
+    from repro.qos.classes import default_classes
+
+    return default_classes()[-spec.num_qos_classes:]
+
+
+def _task_qos(spec: WorkloadSpec, classes, phase: int, step: int, index: int):
+    return classes[
+        stream_u64(spec.seed, _ROLE_QOS, phase, step, index) % len(classes)
+    ]
+
+
 def _make_body(seed: int, phase: int, step: int, index: int):
     def body(*parent_values: int) -> int:
         return stream_u64(seed, _ROLE_VALUE, phase, step, index, *parent_values)
@@ -113,6 +129,7 @@ def build_verify_graph(rt, spec: WorkloadSpec, *, placement=None):
     """Lower ``spec`` onto any runtime; returns ``[(phase, step, index,
     future), ...]`` so the fold knows each future's grid position."""
     entries = []
+    qos_classes = qos_classes_for(spec) if spec.use_qos else None
     for phase, tb in enumerate(spec.taskbench_specs()):
         prev = []
         for step in range(tb.steps):
@@ -123,6 +140,8 @@ def build_verify_graph(rt, spec: WorkloadSpec, *, placement=None):
                     kwargs["locality"] = placement(i)
                 if spec.use_priorities:
                     kwargs["priority"] = _task_priority(spec.seed, phase, step, i)
+                if qos_classes is not None:
+                    kwargs["qos"] = _task_qos(spec, qos_classes, phase, step, i)
                 body = _make_body(spec.seed, phase, step, i)
                 work = tb.kernel.work_for(step, i, tb.seed)
                 name = f"verify:{tb.pattern_name}[{phase}][{step}][{i}]"

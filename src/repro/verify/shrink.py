@@ -8,7 +8,8 @@ shrinkers do, but over the workload-spec lattice instead of a bytestream:
 
 - each candidate in :func:`shrink_candidates` is one *structurally
   simpler* spec — drop pattern phases, halve the grid, drop the fault
-  plan, collapse to one locality, turn priorities off, coarsen the grain;
+  plan, collapse to one locality, turn priorities or per-task QoS classes
+  off, coarsen the grain;
 - every candidate **strictly reduces** ``spec.size()`` (candidates that
   would not are never yielded), so greedy descent provably terminates:
   size is a positive integer and each accepted step decreases it;
@@ -78,6 +79,9 @@ def shrink_candidates(spec: WorkloadSpec) -> Iterator[WorkloadSpec]:
         candidates.append(_try(spec, drop_rate=0.0, duplicate_rate=0.0))
     if spec.use_priorities:
         candidates.append(_try(spec, use_priorities=False))
+    if spec.use_qos:
+        # the scheduler stays "qos"; only the per-task class draws go
+        candidates.append(_try(spec, use_qos=False))
     if spec.grain_ns < COARSE_GRAIN_NS:
         candidates.append(_try(spec, grain_ns=COARSE_GRAIN_NS))
 

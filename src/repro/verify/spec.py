@@ -83,6 +83,10 @@ class WorkloadSpec:
     drop_rate: float = 0.0
     duplicate_rate: float = 0.0
     fault_seed: int = 0
+    #: seeded per-task QoS classes routed through the qos bucket scheduler
+    use_qos: bool = False
+    #: how many of the three default classes the draw uses (2 or 3)
+    num_qos_classes: int = 2
 
     def __post_init__(self) -> None:
         if not self.patterns:
@@ -121,6 +125,10 @@ class WorkloadSpec:
             rate = getattr(self, rate_name)
             if not 0.0 <= rate < 1.0:
                 raise ValueError(f"{rate_name} must be in [0, 1), got {rate}")
+        if self.num_qos_classes not in (2, 3):
+            raise ValueError(
+                f"num_qos_classes must be 2 or 3, got {self.num_qos_classes}"
+            )
 
     # -- derived shape ---------------------------------------------------------
 
@@ -143,6 +151,7 @@ class WorkloadSpec:
             + int(self.use_priorities)
             + (self.num_localities - 1)
             + int(self.grain_ns < COARSE_GRAIN_NS)
+            + int(self.use_qos)
         )
 
     def make_kernel(self) -> KernelSpec:
@@ -189,6 +198,8 @@ class WorkloadSpec:
             "drop_rate": self.drop_rate,
             "duplicate_rate": self.duplicate_rate,
             "fault_seed": self.fault_seed,
+            "use_qos": self.use_qos,
+            "num_qos_classes": self.num_qos_classes,
         }
 
     @classmethod
@@ -229,6 +240,9 @@ def generate_spec(seed: int) -> WorkloadSpec:
     width = _draw(seed, 1, (2, 4, 8))
     num_localities = _draw(seed, 10, (1, 1, 2))
     faulted = num_localities > 1 and stream_u64(seed, _ROLE_GEN, 12) % 3 == 0
+    # ~1/3 of the corpus routes through the QoS bucket scheduler with
+    # seeded per-task classes; parity (PF401-PF407) must hold there too
+    use_qos = stream_u64(seed, _ROLE_GEN, 14) % 3 == 0
     return WorkloadSpec(
         seed=stream_u64(seed, _ROLE_GEN, 99),
         patterns=patterns,
@@ -238,7 +252,7 @@ def generate_spec(seed: int) -> WorkloadSpec:
         kernel=_draw(seed, 4, KERNELS),
         use_priorities=stream_u64(seed, _ROLE_GEN, 5) % 2 == 0,
         num_cores=_draw(seed, 6, (1, 2, 4)),
-        scheduler=_draw(seed, 7, GENERATOR_SCHEDULERS),
+        scheduler="qos" if use_qos else _draw(seed, 7, GENERATOR_SCHEDULERS),
         platform="haswell",
         runtime_seed=stream_u64(seed, _ROLE_GEN, 8) % 2**32,
         num_localities=num_localities,
@@ -246,6 +260,8 @@ def generate_spec(seed: int) -> WorkloadSpec:
         drop_rate=0.05 if faulted else 0.0,
         duplicate_rate=0.05 if faulted else 0.0,
         fault_seed=stream_u64(seed, _ROLE_GEN, 13) % 2**32,
+        use_qos=use_qos,
+        num_qos_classes=2 + stream_u64(seed, _ROLE_GEN, 15) % 2,
     )
 
 

@@ -1,0 +1,61 @@
+"""Unit tests for the BENCH_<rev>.json benchmark log."""
+
+import json
+
+import pytest
+
+from repro.experiments import benchlog
+
+
+@pytest.fixture(autouse=True)
+def _isolated_records():
+    benchlog.reset()
+    yield
+    benchlog.reset()
+
+
+class TestRecord:
+    def test_record_accumulates_and_rounds(self):
+        rec = benchlog.record("figQ", wall_s=1.23456789, tasks=420)
+        assert rec.wall_s == 1.2346
+        assert rec.tasks == 420
+        assert rec.scale == "bench"
+        assert benchlog.RECORDS == [rec]
+
+    def test_reset_clears(self):
+        benchlog.record("fig3", 0.5, 10)
+        benchlog.reset()
+        assert benchlog.RECORDS == []
+
+
+class TestWrite:
+    def test_nothing_recorded_writes_nothing(self, tmp_path):
+        assert benchlog.write(tmp_path) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_file_name_and_payload(self, tmp_path):
+        benchlog.record("figQ", 2.0, 300, scale="smoke")
+        benchlog.record("fig3", 1.0, 100)
+        path = benchlog.write(tmp_path, revision="abc1234")
+        assert path == tmp_path / "BENCH_abc1234.json"
+        data = json.loads(path.read_text())
+        assert data["revision"] == "abc1234"
+        # records sorted by experiment name
+        assert [r["experiment"] for r in data["records"]] == ["fig3", "figQ"]
+        assert data["total_wall_s"] == 3.0
+        assert data["total_tasks"] == 400
+        assert data["records"][1]["scale"] == "smoke"
+
+    def test_default_revision_comes_from_git(self, tmp_path):
+        benchlog.record("figO", 1.0, 50)
+        path = benchlog.write(tmp_path)  # tmp_path is not a git checkout
+        assert path.name == "BENCH_unknown.json"
+
+
+class TestGitRevision:
+    def test_outside_a_checkout_is_unknown(self, tmp_path):
+        assert benchlog.git_revision(tmp_path) == "unknown"
+
+    def test_inside_this_checkout_is_short_hex(self):
+        rev = benchlog.git_revision(".")
+        assert rev == "unknown" or (4 <= len(rev) <= 16 and rev.isalnum())

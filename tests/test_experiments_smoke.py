@@ -128,12 +128,12 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 19
+        assert len(cli.EXPERIMENT_MODULES) == 20
 
     def test_list_subcommand(self, capsys):
         assert cli.main(["list"]) == 0
         out = capsys.readouterr().out
-        for figure in ("figT", "figD", "figR"):
+        for figure in ("figT", "figD", "figR", "figQ"):
             assert figure in out
         # One line per experiment: name plus its one-line title.
         lines = [line for line in out.splitlines() if line.strip()]
@@ -208,6 +208,31 @@ class TestFigOSmoke:
         assert "conservation violations" in labels
         goodput = {s.label for s in fig.panels["A admission: goodput"]}
         assert goodput == set(exp.POLICIES)
+
+
+class TestFigQSmoke:
+    """figQ (QoS priority isolation) runs end-to-end at smoke scale.
+
+    Like figR/figT/figO, figQ's shape checks are asserted at smoke scale
+    too: isolation, class-aware shedding, the ablation gap, determinism
+    and conservation are properties of the QoS stack, not of sweep
+    density, and the fixed 300 us arrival window already yields hundreds
+    of latency samples per tenant.
+    """
+
+    def test_run_and_checks(self):
+        from repro.experiments import figQ_qos_isolation as exp
+
+        fig = exp.run(SMOKE)
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems
+        labels = {s.label for s in fig.panels["summary"]}
+        assert "determinism (1 = bit-identical rerun)" in labels
+        assert "conservation violations" in labels
+        tenants = {s.label for s in fig.panels["A p99 sojourn (us)"]}
+        assert tenants == {"web", "api", "etl"}
+        ablation = {s.label for s in fig.panels["C scheduler ablation at 4x"]}
+        assert "web p99 (us)" in ablation
 
 
 class TestExtensionExperimentsSmoke:

@@ -271,6 +271,100 @@ class TestShedVictimSelection:
         assert err.max_depth == 2
 
 
+class TestClassAwareShedVictim:
+    """Among equal queue priorities, QoS class standing picks the victim:
+    lower-rank staged work is evicted before higher-rank work, and
+    shed-ineligible classes are never evicted in favour of a newcomer."""
+
+    def _control(self, shed_log, max_depth=2):
+        control = AdmissionControl(
+            AdmissionParams(max_depth=max_depth, policy="shed"),
+            now_fn=lambda: 0,
+            on_shed=lambda task, err: shed_log.append(task.name),
+        )
+        queue = DualQueue()
+        control.attach(queue)
+        return control, queue
+
+    def _classes(self):
+        from repro.qos.classes import default_classes
+
+        batch, standard, interactive = default_classes()
+        return batch, standard, interactive
+
+    def test_lower_class_evicted_before_higher_at_equal_priority(self):
+        batch, standard, interactive = self._classes()
+        shed_log = []
+        _, queue = self._control(shed_log)
+        # Same NORMAL queue priority throughout: only class rank differs.
+        queue.push_staged(Task(None, name="std", qos=standard))
+        queue.push_staged(Task(None, name="batch", qos=batch))
+        queue.push_staged(Task(None, name="inter", qos=interactive))
+        # The batch task (rank 0) goes, not the standard one (rank 1),
+        # even though standard is older.
+        assert shed_log == ["batch"]
+        assert [t.name for t in queue._staged] == ["std", "inter"]
+
+    def test_newest_among_equal_class_ties(self):
+        batch, _, interactive = self._classes()
+        shed_log = []
+        _, queue = self._control(shed_log)
+        queue.push_staged(Task(None, name="b1", qos=batch))
+        queue.push_staged(Task(None, name="b2", qos=batch))
+        queue.push_staged(Task(None, name="inter", qos=interactive))
+        assert shed_log == ["b2"]
+
+    def test_same_class_tie_sheds_the_newcomer(self):
+        batch, _, _ = self._classes()
+        shed_log = []
+        _, queue = self._control(shed_log)
+        queue.push_staged(Task(None, name="b1", qos=batch))
+        queue.push_staged(Task(None, name="b2", qos=batch))
+        late = Task(None, name="late", qos=batch)
+        queue.push_staged(late)
+        assert shed_log == ["late"]
+
+    def test_ineligible_class_is_never_evicted_for_a_newcomer(self):
+        _, _, interactive = self._classes()
+        assert not interactive.shed_eligible
+        shed_log = []
+        _, queue = self._control(shed_log)
+        queue.push_staged(Task(None, name="i1", qos=interactive))
+        queue.push_staged(Task(None, name="i2", qos=interactive))
+        # Another interactive arrival cannot displace staged interactive
+        # work; the newcomer itself is shed.
+        queue.push_staged(Task(None, name="i3", qos=interactive))
+        assert shed_log == ["i3"]
+        assert [t.name for t in queue._staged] == ["i1", "i2"]
+
+    def test_unclassed_ties_with_rank_zero_eligible_class(self):
+        batch, _, _ = self._classes()
+        assert batch.rank == 0 and batch.shed_eligible
+        shed_log = []
+        _, queue = self._control(shed_log)
+        queue.push_staged(Task(None, name="plain"))
+        queue.push_staged(Task(None, name="b", qos=batch))
+        # A batch arrival ties with both staged tasks: newcomer shed,
+        # exactly the pre-QoS behaviour for unclassed workloads.
+        queue.push_staged(Task(None, name="late", qos=batch))
+        assert shed_log == ["late"]
+
+    def test_queue_priority_still_dominates_class_rank(self):
+        batch, _, interactive = self._classes()
+        shed_log = []
+        _, queue = self._control(shed_log)
+        # HIGH-priority batch vs NORMAL-priority interactive: priority wins.
+        high_batch = Task(None, name="hb", priority=Priority.HIGH, qos=batch)
+        norm_inter = Task(
+            None, name="ni", priority=Priority.NORMAL, qos=interactive
+        )
+        queue.push_staged(norm_inter)
+        queue.push_staged(high_batch)
+        incoming = Task(None, name="hi", priority=Priority.HIGH, qos=batch)
+        queue.push_staged(incoming)
+        assert shed_log == ["ni"]
+
+
 # ---------------------------------------------------------------------------
 # satellite: per-worker queue-depth gauges
 # ---------------------------------------------------------------------------
@@ -567,6 +661,55 @@ def _signals(**overrides):
 
 
 class TestGovernor:
+    def test_high_qos_shed_forces_coarsen(self):
+        # Premium-tier shedding coarsens even when overhead looks benign:
+        # it is the one signal with no acceptable nonzero level.
+        gov = OverloadGovernor(grain_ns=10_000)
+        action = gov.observe(_signals(high_qos_shed_fraction=0.05))
+        assert action.kind == "coarsen"
+        assert "high-QoS" in action.reason
+        assert gov.grain_ns == 20_000
+
+    def test_high_qos_shed_at_max_grain_falls_through(self):
+        gov = OverloadGovernor(grain_ns=4_000_000)
+        action = gov.observe(_signals(high_qos_shed_fraction=0.05))
+        assert action.kind == "hold"
+
+    def test_from_run_reads_qos_aggregates(self):
+        from repro.overload.admission import AdmissionParams
+        from repro.overload.config import OverloadConfig
+        from repro.qos import (
+            PoissonArrivals,
+            QosServiceConfig,
+            Tenant,
+            default_classes,
+            run_qos_service,
+        )
+
+        batch, _, interactive = default_classes()
+        # One core, a tight bound, and interactive offered at ~6x capacity:
+        # even the premium tier must shed.
+        tenants = [
+            Tenant(0, "web", interactive, 4_000, PoissonArrivals(650.0)),
+            Tenant(1, "etl", batch, 4_000, PoissonArrivals(650.0)),
+        ]
+        outcome = run_qos_service(
+            tenants,
+            QosServiceConfig(
+                num_cores=1,
+                window_ns=100_000,
+                overload=OverloadConfig(
+                    admission=AdmissionParams(max_depth=4, policy="shed")
+                ),
+            ),
+        )
+        signals = GovernorSignals.from_run(outcome.result)
+        web = outcome.stats_for("web")
+        assert web.shed > 0
+        assert signals.high_qos_shed_fraction == pytest.approx(
+            web.shed / web.arrived
+        )
+
     def test_coarsens_under_overhead_and_backlog(self):
         gov = OverloadGovernor(grain_ns=10_000)
         action = gov.observe(_signals(overhead_ratio=0.8, shed_fraction=0.2))

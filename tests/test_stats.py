@@ -3,8 +3,18 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.util.stats import SampleStats, cov, describe, mean, stddev
+from repro.util.stats import (
+    SampleStats,
+    cov,
+    describe,
+    mean,
+    percentiles,
+    quantile,
+    stddev,
+)
 
 
 class TestMean:
@@ -89,3 +99,95 @@ class TestSampleStats:
         stats = describe([1e-12, 1e12])
         assert math.isfinite(stats.cov)
         assert math.isfinite(stats.stddev)
+
+
+# ---------------------------------------------------------------------------
+# nearest-rank quantiles (the QoS layer's p50/p99/p999 machinery)
+# ---------------------------------------------------------------------------
+
+_samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+_qs = st.floats(min_value=1e-6, max_value=1.0)
+
+
+class TestQuantile:
+    def test_known_decile_values(self):
+        xs = list(range(1, 11))  # 1..10
+        assert quantile(xs, 0.1) == 1
+        assert quantile(xs, 0.5) == 5
+        assert quantile(xs, 0.51) == 6
+        assert quantile(xs, 0.99) == 10
+        assert quantile(xs, 1.0) == 10
+
+    def test_order_independent(self):
+        assert quantile([3, 1, 2], 0.5) == quantile([1, 2, 3], 0.5) == 2
+
+    def test_singleton(self):
+        assert quantile([7.0], 0.5) == 7.0
+        assert quantile([7.0], 1.0) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.1])
+    def test_out_of_range_q_raises(self, q):
+        with pytest.raises(ValueError):
+            quantile([1.0], q)
+
+    @given(_samples, _qs)
+    @settings(max_examples=150, deadline=None)
+    def test_result_is_a_sample(self, xs, q):
+        # No interpolation: every reported quantile was actually observed.
+        assert quantile(xs, q) in xs
+
+    @given(_samples, _qs)
+    @settings(max_examples=150, deadline=None)
+    def test_nearest_rank_definition(self, xs, q):
+        # The smallest x with at least ceil(q*n) samples <= x (same float
+        # guard as the implementation: plain ceil misranks e.g. 0.999*1000).
+        value = quantile(xs, q)
+        need = max(1, math.ceil(q * len(xs) - 1e-9))
+        assert sum(1 for x in xs if x <= value) >= need
+        # ... and no strictly smaller sample satisfies the rank.
+        smaller = [x for x in xs if x < value]
+        assert sum(1 for x in xs if x <= max(smaller, default=value)) < need or not smaller
+
+    @given(_samples, _qs, _qs)
+    @settings(max_examples=150, deadline=None)
+    def test_monotone_in_q(self, xs, q1, q2):
+        lo, hi = sorted((q1, q2))
+        assert quantile(xs, lo) <= quantile(xs, hi)
+
+    @given(_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_extremes(self, xs):
+        assert quantile(xs, 1.0) == max(xs)
+        assert quantile(xs, 1.0 / (len(xs) + 1)) == min(xs)
+
+
+class TestPercentiles:
+    def test_default_triple(self):
+        xs = list(range(1, 1001))
+        got = percentiles(xs)
+        assert got == {50.0: 500, 99.0: 990, 99.9: 999}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentiles([])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentiles([1.0], [0.0])
+        with pytest.raises(ValueError):
+            percentiles([1.0], [100.5])
+
+    @given(_samples, st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_quantile(self, xs, ps):
+        got = percentiles(xs, ps)
+        for p in ps:
+            assert got[p] == quantile(xs, p / 100.0)

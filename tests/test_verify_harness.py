@@ -116,3 +116,39 @@ def test_fuzz_corpus_head_is_clean():
     for seed in range(6):
         report = verify_spec(generate_spec(seed))
         assert report.ok, (seed, [f.format() for f in report.findings])
+
+
+def test_qos_spec_runs_the_full_ladder_clean():
+    """A ``use_qos`` spec (per-task classes + qos bucket scheduler) holds
+    every parity invariant: sim/rerun/thread/dist@1 agree bit-for-bit."""
+    spec = WorkloadSpec(
+        seed=11, patterns=("stencil_1d",), width=4, steps=3,
+        scheduler="qos", use_qos=True, num_qos_classes=3,
+    )
+    report = verify_spec(spec)
+    assert report.ok, [f.format() for f in report.findings]
+    assert set(report.results) == {"sim", "sim-rerun", "thread", "dist@1"}
+
+
+def test_qos_class_draws_are_seeded_and_cover_the_palette():
+    from repro.verify.harness import _task_qos, qos_classes_for
+
+    spec = WorkloadSpec(seed=3, use_qos=True, num_qos_classes=3)
+    classes = qos_classes_for(spec)
+    assert [c.name for c in classes] == ["batch", "standard", "interactive"]
+    drawn = {
+        _task_qos(spec, classes, 0, step, i).name
+        for step in range(8)
+        for i in range(8)
+    }
+    assert drawn == {"batch", "standard", "interactive"}
+    assert _task_qos(spec, classes, 0, 1, 2) is _task_qos(spec, classes, 0, 1, 2)
+    two = qos_classes_for(WorkloadSpec(seed=3, use_qos=True))
+    assert [c.name for c in two] == ["standard", "interactive"]
+
+
+def test_shrinking_turns_qos_off():
+    from repro.verify.shrink import shrink_candidates
+
+    spec = WorkloadSpec(width=2, steps=1, scheduler="qos", use_qos=True)
+    assert any(not c.use_qos for c in shrink_candidates(spec))

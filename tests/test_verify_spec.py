@@ -32,13 +32,38 @@ def test_corpus_is_diverse():
     specs = [generate_spec(seed) for seed in range(50)]
     patterns = {name for s in specs for name in s.patterns}
     assert len(patterns) >= 6  # most of the 8-pattern catalogue
-    assert {s.scheduler for s in specs} == set(GENERATOR_SCHEDULERS)
+    assert {s.scheduler for s in specs} == set(GENERATOR_SCHEDULERS) | {"qos"}
     assert any(s.use_priorities for s in specs)
     assert any(not s.use_priorities for s in specs)
     assert any(s.num_localities > 1 for s in specs)
     assert any(s.faults_active for s in specs)
     assert any(s.kernel == "imbalanced" for s in specs)
     assert any(len(s.patterns) > 1 for s in specs)
+    assert any(s.use_qos for s in specs)
+    assert any(not s.use_qos for s in specs)
+
+
+def test_qos_specs_always_run_the_qos_scheduler():
+    for seed in range(100):
+        spec = generate_spec(seed)
+        if spec.use_qos:
+            assert spec.scheduler == "qos"
+            assert spec.num_qos_classes in (2, 3)
+        else:
+            assert spec.scheduler in GENERATOR_SCHEDULERS
+    qos_specs = [s for s in (generate_spec(k) for k in range(50)) if s.use_qos]
+    assert {s.num_qos_classes for s in qos_specs} == {2, 3}
+
+
+def test_from_dict_defaults_the_qos_fields():
+    # reproducer JSONs written before the QoS fields existed must load
+    spec = generate_spec(7)
+    data = spec.to_dict()
+    del data["use_qos"]
+    del data["num_qos_classes"]
+    loaded = WorkloadSpec.from_dict(data)
+    assert loaded.use_qos is False
+    assert loaded.num_qos_classes == 2
 
 
 def test_json_round_trip():
@@ -69,9 +94,10 @@ def test_size_counts_each_complication_once():
         use_priorities=True,
         num_localities=2,
         drop_rate=0.05,
+        use_qos=True,
     )
-    # 2 tasks + fine grain + priorities + extra locality + faults
-    assert loaded.size() == 6
+    # 2 tasks + fine grain + priorities + extra locality + faults + qos
+    assert loaded.size() == 7
 
 
 def test_faults_only_count_on_the_wire():
@@ -94,6 +120,8 @@ def test_faults_only_count_on_the_wire():
         {"placement": "random"},
         {"drop_rate": 1.0},
         {"duplicate_rate": -0.1},
+        {"num_qos_classes": 1},
+        {"num_qos_classes": 4},
     ],
 )
 def test_validation_rejects(bad):
