@@ -1,0 +1,15 @@
+"""figC: crash recovery — best checkpoint interval vs grain size.
+
+See the module docstring of ``repro.experiments.figC_crash_recovery`` for
+the claims (the execution-time-optimal checkpoint interval coarsens with
+the grain; time-to-recover decomposes into detection + restore +
+re-execution; recovered runs are bit-identical to the crash-free serial
+reference with lost work conserved) the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figC_crash_recovery
+
+
+def test_figC_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figC_crash_recovery, bench_scale)

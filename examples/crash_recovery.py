@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Quickstart: surviving a locality crash with checkpoint/restart.
+
+``DistConfig(crash_recovery=RecoveryConfig(...))`` arms three mechanisms
+on top of the fault injector of ``examples/fault_injection.py``:
+
+1. a deterministic heartbeat failure detector riding the parcel network —
+   survivors declare a silent locality dead after a few missed heartbeats
+   (and per-link threshold adaptation keeps a merely *slow* straggler from
+   being declared dead);
+2. periodic per-locality checkpoints of completed task results into a
+   survivor-replicated store, costed through the network model;
+3. on declaration: AGAS addresses re-home to survivors, checkpointed
+   results restore from the replica, and uncheckpointed (lost) work
+   re-executes from recorded lineage — completing the run with values
+   bit-identical to a crash-free one.
+
+Run: ``python examples/crash_recovery.py``
+"""
+
+from repro.dist import (
+    CrashAt,
+    DistConfig,
+    DistRuntime,
+    FaultPlan,
+    RecoveryConfig,
+    RetryParams,
+    Straggler,
+    UnrecoverableCrashError,
+)
+from repro.runtime.work import FixedWork
+
+LOCALITIES = 4
+STEPS = 8
+GRAIN_NS = 120_000
+
+
+def build_ring(runtime: DistRuntime):
+    """Each step consumes a locality's own and its right neighbour's
+    previous result — a crash always kills work the survivors need."""
+    prev = [
+        runtime.make_ready_future(float(i), locality=i, name=f"root{i}")
+        for i in range(LOCALITIES)
+    ]
+    for step in range(STEPS):
+        prev = [
+            runtime.dataflow(
+                (
+                    lambda a, b, step=step, i=i:
+                    a * 0.5 + b * 0.25 + step + i * 0.125
+                ),
+                [prev[i], prev[(i + 1) % LOCALITIES]],
+                locality=i,
+                work=FixedWork(GRAIN_NS),
+                name=f"s{step}l{i}",
+            )
+            for i in range(LOCALITIES)
+        ]
+    return prev
+
+
+def run_ring(config: DistConfig):
+    runtime = DistRuntime(config)
+    finals = build_ring(runtime)
+    result = runtime.wait(finals)
+    return result, [f.value for f in finals]
+
+
+def base_config(**overrides) -> DistConfig:
+    defaults = dict(
+        num_localities=LOCALITIES,
+        cores_per_locality=2,
+        seed=7,
+        retry=RetryParams(),
+    )
+    defaults.update(overrides)
+    return DistConfig(**defaults)
+
+
+def survive_a_crash_demo(crash_ns: int, clean_values: list) -> None:
+    print("== surviving a mid-run locality crash ==")
+    result, values = run_ring(
+        base_config(
+            faults=FaultPlan(seed=7, crashes=(CrashAt(3, crash_ns),)),
+            crash_recovery=RecoveryConfig(checkpoint_interval_ns=200_000),
+        )
+    )
+    result.assert_parcels_conserved()
+    print(
+        f"locality 3 crashed at {crash_ns / 1e3:.0f} us; detected after "
+        f"{result.detection_ns / 1e3:.1f} us "
+        f"({result.heartbeats_sent} heartbeats exchanged)"
+    )
+    print(
+        f"checkpoints: {result.checkpoints_taken} ticks made "
+        f"{result.tasks_checkpointed} results durable; at the crash "
+        f"{result.tasks_restored} restored, {result.tasks_lost} lost"
+    )
+    print(
+        f"lost work re-executed from lineage: {result.tasks_reexecuted} "
+        f"task(s) (== lost: {result.tasks_reexecuted == result.tasks_lost})"
+    )
+    print(
+        "time-to-recover "
+        f"{result.recovery_total_ns / 1e3:.1f} us = detection "
+        f"{result.detection_ns / 1e3:.1f} + restore "
+        f"{result.restore_ns / 1e3:.1f} + re-execution "
+        f"{result.reexecution_ns / 1e3:.1f}"
+    )
+    print(
+        "recovered values bit-identical to the crash-free run: "
+        f"{values == clean_values}"
+    )
+
+
+def slow_is_not_dead_demo() -> None:
+    print("\n== slow is not dead: the detector ignores a straggler ==")
+    result, _ = run_ring(
+        base_config(
+            faults=FaultPlan(seed=7, stragglers=(Straggler(2, 4.0),)),
+            crash_recovery=RecoveryConfig(checkpoint_interval_ns=200_000),
+        )
+    )
+    print(
+        "locality 2 ran 4x slow; false positives: "
+        f"{result.crashes_detected} (per-link max-gap adaptation keeps "
+        "its heartbeat threshold proportionally lax)"
+    )
+
+
+def budget_demo(crash_ns: int) -> None:
+    print("\n== the crash budget is typed, not a hang ==")
+    config = base_config(
+        faults=FaultPlan(
+            seed=7,
+            crashes=(CrashAt(1, crash_ns // 2), CrashAt(3, crash_ns)),
+        ),
+        crash_recovery=RecoveryConfig(checkpoint_interval_ns=200_000),
+    )
+    try:
+        run_ring(config)
+    except UnrecoverableCrashError as err:
+        print(f"UnrecoverableCrashError: {err}")
+
+
+if __name__ == "__main__":
+    clean_result, clean_values = run_ring(base_config())
+    survive_a_crash_demo(clean_result.execution_time_ns // 2, clean_values)
+    slow_is_not_dead_demo()
+    budget_demo(clean_result.execution_time_ns // 2)

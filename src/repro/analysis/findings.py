@@ -140,6 +140,13 @@ RULES: dict[str, Rule] = {
             "sim/thread/dist backends disagree on the structural result of "
             "the same workload spec",
         ),
+        Rule(
+            "PF408", "recovery-conservation", Severity.ERROR,
+            "crash recovery did not conserve the lost work: re-executions "
+            "!= losses, restores exceed durable checkpoints, or time-to-"
+            "recover does not decompose into detection + restore + "
+            "re-execution",
+        ),
     ]
 }
 

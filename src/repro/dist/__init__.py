@@ -47,8 +47,10 @@ from repro.faults import (
     ParcelLostError,
     RetryParams,
     Straggler,
+    UnrecoverableCrashError,
     WatchdogTimeout,
 )
+from repro.recovery import RecoveryConfig
 
 __all__ = [
     "AgasCache",
@@ -72,5 +74,7 @@ __all__ = [
     "ParcelLostError",
     "RetryParams",
     "Straggler",
+    "UnrecoverableCrashError",
     "WatchdogTimeout",
+    "RecoveryConfig",
 ]

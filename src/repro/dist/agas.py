@@ -23,6 +23,14 @@ later resolution is a hit.  Misses therefore count *distinct gids resolved
 per locality*, which is what makes the counter interpretable: for the
 distributed stencil it is exactly the number of neighbour partitions each
 locality ever talks to.
+
+Crash recovery is the one sanctioned exception to "never invalidated":
+when :mod:`repro.recovery` declares a locality dead it calls
+:meth:`AgasService.rehome` to move the dead locality's gids to survivors
+and :meth:`AgasCache.invalidate_homed_on` on each survivor, so the next
+resolution of a moved gid pays a miss and learns the new home.  Runs
+without crash recovery never take either path, keeping the positive-only
+contract (and its counters) bit-identical.
 """
 
 from __future__ import annotations
@@ -81,6 +89,18 @@ class AgasService:
         except KeyError:
             raise KeyError(f"unregistered gid {gid!r}") from None
 
+    def homed_on(self, locality: int) -> list[int]:
+        """Integer gids currently homed on ``locality``, in id order."""
+        return sorted(g for g, h in self._home.items() if h == locality)
+
+    def rehome(self, gid_int: int, new_home: int) -> None:
+        """Move one gid to a survivor locality (crash recovery only)."""
+        if gid_int not in self._home:
+            raise KeyError(f"unregistered gid #{gid_int}")
+        if new_home < 0:
+            raise ValueError(f"locality must be >= 0, got {new_home}")
+        self._home[gid_int] = new_home
+
     def __len__(self) -> int:
         return len(self._home)
 
@@ -128,3 +148,15 @@ class AgasCache:
             self._c_misses.increment()
         self._c_time.increment(cost)
         return home, cost
+
+    def invalidate_homed_on(self, locality: int) -> int:
+        """Drop every cached mapping that points at ``locality``.
+
+        Called by crash recovery after re-homing a dead locality's gids;
+        returns how many entries were dropped.  The next resolution of each
+        dropped gid is a miss that learns the survivor home.
+        """
+        stale = [g for g, h in self._cache.items() if h == locality]
+        for g in stale:
+            del self._cache[g]
+        return len(stale)

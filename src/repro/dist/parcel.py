@@ -733,6 +733,42 @@ class Parcelport:
             br.halt()
         self._waiting.clear()
 
+    def abandon_destination(self, destination: int) -> int:
+        """Give up on every send headed to a declared-dead ``destination``.
+
+        Crash recovery calls this on each *survivor* port the moment a
+        locality is declared dead, so nobody burns the remaining
+        retransmission budget on a link that can never ack.  Returns how
+        many sends were abandoned (the ``/recovery`` failed-fast count).
+
+        Accounting: an in-flight copy's retry timer is cancelled without
+        booking a fate — the copy itself still terminates at
+        :meth:`_arrive` against the halted peer, where it is counted
+        ``dropped``, keeping the sent/received/dropped conservation exact.
+        A parked *fresh* send (attempt 0) was counted ``sent`` but never
+        produced a wire copy, so it is booked ``dropped`` here; a parked
+        retransmission has no accounting existence and books nothing.
+        """
+        abandoned = 0
+        stale = [
+            pid
+            for pid, (_e, parcel, _a) in self._awaiting.items()
+            if parcel.destination == destination
+        ]
+        for pid in stale:
+            event, _parcel, _attempt = self._awaiting.pop(pid)
+            event.cancel()
+            self._release_unacked(pid)
+            abandoned += 1
+        lane = self._waiting.pop(destination, None)
+        if lane:
+            for parcel, _cb, _lost, attempt, *_rest in lane:
+                self._release_unacked(parcel.parcel_id)
+                if attempt == 0:
+                    self._c_dropped.increment()
+                abandoned += 1
+        return abandoned
+
     # -- introspection ------------------------------------------------------
 
     @property

@@ -46,6 +46,8 @@ from repro.faults.errors import (
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.transport import RetryParams
 from repro.overload.config import OverloadConfig
+from repro.recovery.config import RecoveryConfig
+from repro.recovery.manager import RecoveryManager
 from repro.runtime.future import Future
 from repro.runtime.runtime import Runtime, RuntimeConfig
 from repro.runtime.sim_executor import DeadlockError
@@ -110,6 +112,14 @@ class DistConfig:
     #: bound of each parcelport's dead-letter ring; the oldest letter is
     #: evicted (and counted) once full
     dead_letter_capacity: int = 1024
+    #: opt-in locality-crash survival (:mod:`repro.recovery`): heartbeat
+    #: failure detection, periodic checkpoints of completed task results to
+    #: survivor replicas, and lineage-based re-execution of lost work.
+    #: ``None`` (the default) is bit-identical to pre-recovery behaviour —
+    #: a crash then remains terminal, diagnosed by :meth:`DistRuntime.wait`.
+    #: Orthogonal to ``recovery=`` above, which re-executes a *producer*
+    #: after parcel loss on an otherwise healthy locality.
+    crash_recovery: RecoveryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_localities < 1:
@@ -140,6 +150,11 @@ class DistConfig:
             )
         if self.dead_letter_capacity < 1:
             raise ValueError("dead_letter_capacity must be >= 1")
+        if self.crash_recovery is not None and self.num_localities < 2:
+            raise ValueError(
+                "crash_recovery needs at least 2 localities: a lone "
+                "locality has no survivor to replicate checkpoints onto"
+            )
         if (
             self.overload is not None
             and (self.overload.credits is not None
@@ -236,6 +251,37 @@ class DistRunResult:
     breaker_transitions: int = 0
     #: dead letters evicted from the bounded rings
     dead_letters_dropped: int = 0
+    #: -- crash-recovery accounting (all zero with crash_recovery=None) -----
+    #: localities declared dead by the heartbeat failure detector
+    crashes_detected: int = 0
+    #: heartbeats emitted across all localities
+    heartbeats_sent: int = 0
+    #: checkpoint writes completed across all localities
+    checkpoints_taken: int = 0
+    #: task results made durable on a survivor replica
+    tasks_checkpointed: int = 0
+    #: dead localities' results restored from the replicated store
+    tasks_restored: int = 0
+    #: dead localities' tasks re-executed from lineage on survivors
+    tasks_reexecuted: int = 0
+    #: tasks a declared crash lost (not durable at declaration time);
+    #: conservation: every lost task is re-executed, so this equals
+    #: ``tasks_reexecuted`` once a recovered run completes
+    tasks_lost: int = 0
+    #: sends to a declared-dead locality abandoned instead of retried
+    parcels_failed_fast: int = 0
+    #: crash-to-declaration time, summed over declared crashes (ns)
+    detection_ns: int = 0
+    #: declaration-to-restored time, summed over declared crashes (ns)
+    restore_ns: int = 0
+    #: restore-to-last-replacement time, summed over declared crashes (ns)
+    reexecution_ns: int = 0
+    #: crash-to-recovered total; equals detection + restore + reexecution
+    recovery_total_ns: int = 0
+    #: application tasks that ran to completion, recovery bookkeeping
+    #: (checkpoint writes, redundant re-executions) subtracted out; on a
+    #: recovered run this equals the crash-free run's task count
+    app_tasks_completed: int = 0
 
     def assert_parcels_conserved(self) -> None:
         """Every wire copy must meet exactly one fate.
@@ -409,6 +455,20 @@ class DistRuntime:
         self._recoveries: dict[
             tuple[int, int, Callable[[Any], Any] | None], int
         ] = {}
+        #: proxy key -> (source future, ship closure); populated only under
+        #: crash recovery so declared-dead senders' parcels can be re-shipped
+        #: from the value's new home
+        self._shippers: dict[
+            tuple[int, int, Callable[[Any], Any] | None],
+            tuple[Future, Callable[[Future], None]],
+        ] = {}
+        #: the crash-recovery layer; None (the default) costs nothing and
+        #: leaves the event schedule bit-identical to pre-recovery builds
+        self.recovery_manager: RecoveryManager | None = None
+        if config.crash_recovery is not None:
+            self.recovery_manager = RecoveryManager(
+                self, config.crash_recovery
+            )
         self._ran = False
         self._result: DistRunResult | None = None
 
@@ -490,6 +550,8 @@ class DistRuntime:
         f = Future(name)
         f.set_value(value)
         self._owner[f.future_id] = locality
+        if self.recovery_manager is not None:
+            self.recovery_manager.record_root(f)
         return f
 
     # -- work submission ----------------------------------------------------
@@ -510,6 +572,10 @@ class DistRuntime:
             fn, *args, work=work, name=name, priority=priority, qos=qos
         )
         self._owner[f.future_id] = locality
+        if self.recovery_manager is not None:
+            self.recovery_manager.record_async(
+                f, fn, args, work, name, priority, qos
+            )
         return f
 
     def dataflow(
@@ -539,6 +605,13 @@ class DistRuntime:
             fn, deps, work=work, name=name, priority=priority, qos=qos
         )
         self._owner[f.future_id] = locality
+        if self.recovery_manager is not None:
+            # Lineage records the *caller's* dependencies: re-execution
+            # re-localizes them against the post-crash owner map, so a dep
+            # that died with its locality is rewired to its replacement.
+            self.recovery_manager.record_dataflow(
+                f, fn, tuple(dependencies), work, name, priority, qos
+            )
         return f
 
     def _localize(self, dep: Future, destination: int) -> Future:
@@ -597,7 +670,14 @@ class DistRuntime:
         proxy.dependencies = (future,)
         self._owner[proxy.future_id] = destination
         self._proxies[key] = proxy
-        source = self.localities[owner]
+
+        def current_source() -> Locality:
+            # Resolved at ship time, not at proxy creation: crash recovery
+            # re-homes a dead locality's futures, and a re-shipped (or
+            # late-satisfied) value must depart from its *new* home.
+            # Without recovery the owner never changes, so this is the
+            # same locality the legacy code captured.
+            return self.localities[self._owner[future.future_id]]
 
         def deliver(parcel: Parcel) -> None:
             # Idempotent: a straggling duplicate delivered after a recovery
@@ -611,7 +691,7 @@ class DistRuntime:
                 key,
                 parcel,
                 attempts,
-                source=source,
+                source=current_source(),
                 destination=destination,
                 src_future=future,
                 payload_bytes=payload_bytes,
@@ -622,6 +702,28 @@ class DistRuntime:
             )
 
         def ship(ready: Future) -> None:
+            source = current_source()
+            mgr = self.recovery_manager
+            if mgr is not None and mgr.is_dead(destination):
+                # The consumer's locality is gone: burning a send (and its
+                # whole retry budget) on it would be pure waste.
+                mgr.note_failed_fast(source.index)
+                return
+            if source.index == destination:
+                # Only reachable under crash recovery: the producer was
+                # re-homed onto the consumer's own locality, so the value
+                # is local now and no parcel is needed.
+                if proxy.is_ready:
+                    return
+                if ready.has_exception:
+                    proxy.set_exception(ready.exception)
+                else:
+                    proxy.set_value(
+                        ready.value
+                        if transform is None
+                        else transform(ready.value)
+                    )
+                return
             resolve_ns = 0
             if gid is not None:
                 _, resolve_ns = source.agas.resolve(gid)
@@ -653,8 +755,30 @@ class DistRuntime:
                 resolve_ns=resolve_ns, on_lost=on_lost,
             )
 
+        if self.recovery_manager is not None:
+            self._shippers[key] = (future, ship)
+            self.recovery_manager.record_proxy(
+                proxy, future, payload_bytes, transform, gid,
+                recovery_work, proxy.name,
+            )
         future.on_ready(ship)
         return proxy
+
+    def _reship(self, key: tuple[int, int, Callable[[Any], Any] | None]) -> None:
+        """Re-send a proxy's value after its producer's locality died.
+
+        Called by the recovery manager for proxies that were fed (or were
+        about to be fed) by a declared-dead sender; the stored ship closure
+        resolves the source locality dynamically, so the fresh parcel
+        departs from the value's post-recovery home.
+        """
+        proxy = self._proxies.get(key)
+        entry = self._shippers.get(key)
+        if proxy is None or entry is None or proxy.is_ready:
+            return
+        src_future, ship = entry
+        if src_future.is_ready:
+            ship(src_future)
 
     def _parcel_lost(
         self,
@@ -674,6 +798,16 @@ class DistRuntime:
     ) -> None:
         """A proxy's parcel exhausted its retry budget; recover or fail."""
         if proxy.is_ready:
+            return
+        mgr = self.recovery_manager
+        if mgr is not None and (
+            source.crashed or self.localities[destination].crashed
+        ):
+            # Crash recovery owns this loss: once the detector declares the
+            # dead endpoint, the value is re-shipped from its new home (or
+            # the send is abandoned outright) — failing the proxy here
+            # would beat the recovery to it.  This replaces the terminal
+            # "no recovery possible" path below for recovery-enabled runs.
             return
         dest = self.localities[destination]
         used = self._recoveries.get(key, 0)
@@ -790,6 +924,12 @@ class DistRuntime:
                 )
             if bits:
                 parts.append(f"locality {loc.index}: " + ", ".join(bits))
+        if self.recovery_manager is not None:
+            # Recovery-enabled runs report live detector / checkpoint /
+            # recovery state instead of declaring dependency cones doomed:
+            # a cone behind a declared crash is being re-executed, not dead.
+            parts.extend(self.recovery_manager.diagnose())
+            return "; ".join(parts)
         # Name the dependency cones that died with a crashed locality: a
         # pending proxy whose transitive producer crashed can never become
         # ready, and that (not the transport) is what starves its consumer.
@@ -832,6 +972,8 @@ class DistRuntime:
                     )
         for loc in self.localities:
             loc.runtime.executor.start_workers()
+        if self.recovery_manager is not None:
+            self.recovery_manager.start()
         if watchdog_ns is not None:
             self.simulator.run_until(watchdog_ns)
             unfinished = self.simulator.pending_events() > 0 or any(
@@ -897,6 +1039,15 @@ class DistRuntime:
         def ptotal(tail: str) -> int:
             return int(reg.total(f"/parcels{{locality#*/total}}/{tail}"))
 
+        mgr = self.recovery_manager
+        if mgr is not None:
+            completed = sum(
+                loc.runtime.executor.tasks_completed
+                for loc in self.localities
+            )
+            app_tasks_completed = completed - mgr.internal_completions
+        else:
+            app_tasks_completed = 0
         result = DistRunResult(
             execution_time_ns=finish,
             counters=reg.snapshot(finish),
@@ -965,6 +1116,19 @@ class DistRuntime:
             dead_letters_dropped=sum(
                 loc.parcelport.dead_letters_dropped for loc in self.localities
             ),
+            crashes_detected=mgr.crashes_detected if mgr else 0,
+            heartbeats_sent=mgr.heartbeats_sent if mgr else 0,
+            checkpoints_taken=mgr.checkpoints_taken if mgr else 0,
+            tasks_checkpointed=mgr.tasks_checkpointed if mgr else 0,
+            tasks_restored=mgr.tasks_restored if mgr else 0,
+            tasks_reexecuted=mgr.tasks_reexecuted if mgr else 0,
+            tasks_lost=mgr.tasks_lost if mgr else 0,
+            parcels_failed_fast=mgr.parcels_failed_fast if mgr else 0,
+            detection_ns=mgr.detection_ns if mgr else 0,
+            restore_ns=mgr.restore_ns if mgr else 0,
+            reexecution_ns=mgr.reexecution_ns if mgr else 0,
+            recovery_total_ns=mgr.recovery_total_ns if mgr else 0,
+            app_tasks_completed=app_tasks_completed,
         )
         self._result = result
         return result

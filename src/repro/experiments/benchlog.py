@@ -14,16 +14,41 @@ The plumbing: :func:`run_figure_benchmark <benchmarks._support.
 run_figure_benchmark>` calls :func:`record` around every figure run,
 and ``benchmarks/conftest.py`` calls :func:`write` from
 ``pytest_sessionfinish``.
+
+:func:`compare` is the regression gate over two such logs:
+
+    python -m repro.experiments.benchlog compare OLD.json NEW.json
+
+prints a per-figure wall-time table and exits non-zero when any
+experiment present in both logs slowed down by more than the threshold
+(default 25%).  CI downloads the previous revision's ``bench-log``
+artifact and runs exactly this, so a wall-time regression fails the
+build with a readable diff instead of burying it in a JSON blob.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import subprocess
+import sys
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-__all__ = ["BenchRecord", "RECORDS", "git_revision", "record", "reset", "write"]
+__all__ = [
+    "BenchRecord",
+    "CompareResult",
+    "CompareRow",
+    "RECORDS",
+    "compare",
+    "compare_files",
+    "format_table",
+    "git_revision",
+    "main",
+    "record",
+    "reset",
+    "write",
+]
 
 
 @dataclass(frozen=True)
@@ -94,3 +119,152 @@ def write(
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+# -- the regression gate --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompareRow:
+    """One experiment's wall time across two bench logs."""
+
+    experiment: str
+    #: seconds in the old / new log; None when absent from that log
+    old_wall_s: float | None
+    new_wall_s: float | None
+
+    @property
+    def ratio(self) -> float | None:
+        """``new / old``, or None when either side is missing or old is 0."""
+        if self.old_wall_s is None or self.new_wall_s is None:
+            return None
+        if self.old_wall_s <= 0.0:
+            return None
+        return self.new_wall_s / self.old_wall_s
+
+    def regressed(self, threshold: float) -> bool:
+        ratio = self.ratio
+        return ratio is not None and ratio > 1.0 + threshold
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """Outcome of :func:`compare` — rows plus the verdict."""
+
+    rows: tuple[CompareRow, ...]
+    threshold: float
+
+    @property
+    def regressions(self) -> tuple[CompareRow, ...]:
+        return tuple(r for r in self.rows if r.regressed(self.threshold))
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _wall_by_experiment(payload: dict) -> dict[str, float]:
+    walls: dict[str, float] = {}
+    for rec in payload.get("records", []):
+        # a figure benchmarked twice in one session accumulates
+        walls[rec["experiment"]] = (
+            walls.get(rec["experiment"], 0.0) + float(rec["wall_s"])
+        )
+    return walls
+
+
+def compare(old: dict, new: dict, threshold: float = 0.25) -> CompareResult:
+    """Diff two ``BENCH_<rev>.json`` payloads, flagging slowdowns.
+
+    An experiment regresses when it appears in both logs and its new
+    wall time exceeds the old by more than ``threshold`` (a fraction:
+    0.25 means 25% slower fails).  Experiments present on only one side
+    (newly added or retired figures) are listed but never regress.
+    """
+    if threshold < 0.0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    old_walls = _wall_by_experiment(old)
+    new_walls = _wall_by_experiment(new)
+    rows = tuple(
+        CompareRow(
+            experiment=name,
+            old_wall_s=old_walls.get(name),
+            new_wall_s=new_walls.get(name),
+        )
+        for name in sorted(set(old_walls) | set(new_walls))
+    )
+    return CompareResult(rows=rows, threshold=threshold)
+
+
+def compare_files(
+    old_path: str | Path, new_path: str | Path, threshold: float = 0.25
+) -> CompareResult:
+    old = json.loads(Path(old_path).read_text())
+    new = json.loads(Path(new_path).read_text())
+    return compare(old, new, threshold=threshold)
+
+
+def format_table(result: CompareResult) -> str:
+    """The per-figure table the CI log shows — one row per experiment."""
+    header = (
+        f"{'experiment':<12} {'old (s)':>9} {'new (s)':>9} "
+        f"{'delta':>8}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        old_s = "-" if row.old_wall_s is None else f"{row.old_wall_s:.3f}"
+        new_s = "-" if row.new_wall_s is None else f"{row.new_wall_s:.3f}"
+        ratio = row.ratio
+        if ratio is None:
+            delta = "-"
+            verdict = "new" if row.old_wall_s is None else "retired"
+        else:
+            delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
+            if row.regressed(result.threshold):
+                verdict = f"REGRESSED (> {result.threshold * 100:.0f}%)"
+            elif ratio < 1.0:
+                verdict = "faster"
+            else:
+                verdict = "ok"
+        lines.append(
+            f"{row.experiment:<12} {old_s:>9} {new_s:>9} {delta:>8}  {verdict}"
+        )
+    if result.ok:
+        lines.append(
+            f"no wall-time regression above {result.threshold * 100:.0f}%"
+        )
+    else:
+        names = ", ".join(r.experiment for r in result.regressions)
+        lines.append(
+            f"{len(result.regressions)} regression(s) above "
+            f"{result.threshold * 100:.0f}%: {names}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.benchlog",
+        description="Benchmark-log tooling (BENCH_<rev>.json).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmp_parser = sub.add_parser(
+        "compare",
+        help="diff two bench logs; exit 1 on a wall-time regression",
+    )
+    cmp_parser.add_argument("old", help="baseline BENCH_<rev>.json")
+    cmp_parser.add_argument("new", help="candidate BENCH_<rev>.json")
+    cmp_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="slowdown fraction that fails the gate (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    result = compare_files(args.old, args.new, threshold=args.threshold)
+    print(format_table(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

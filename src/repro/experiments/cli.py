@@ -35,6 +35,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "fig10": "repro.experiments.fig10_pending_queue_phi",
     "figD": "repro.experiments.figD_distributed_grain",
     "figR": "repro.experiments.figR_resilience_grain",
+    "figC": "repro.experiments.figC_crash_recovery",
     "figT": "repro.experiments.figT_taskbench_metg",
     "figO": "repro.experiments.figO_overload",
     "figQ": "repro.experiments.figQ_qos_isolation",

@@ -15,8 +15,12 @@ answerable and regression-tested:
   ack/timeout/retransmit protocol the parcelport runs in reliable mode;
 - :mod:`repro.faults.errors` — the typed failure modes
   (:class:`ParcelLostError`, :class:`LocalityCrashError`,
-  :class:`WatchdogTimeout`) that replace silent hangs and generic
-  deadlocks.
+  :class:`UnrecoverableCrashError`, :class:`WatchdogTimeout`) that replace
+  silent hangs and generic deadlocks.
+
+Crash *survival* — heartbeat failure detection, checkpoint/restart and
+lineage re-execution on top of these primitives — lives in
+:mod:`repro.recovery` (see docs/recovery.md).
 
 See docs/resilience.md for the fault model and counter catalogue,
 ``experiments/figR_resilience_grain.py`` for the resilience-vs-grain-size
@@ -27,6 +31,7 @@ from repro.faults.errors import (
     FaultError,
     LocalityCrashError,
     ParcelLostError,
+    UnrecoverableCrashError,
     WatchdogTimeout,
 )
 from repro.faults.plan import (
@@ -44,6 +49,7 @@ __all__ = [
     "FaultError",
     "LocalityCrashError",
     "ParcelLostError",
+    "UnrecoverableCrashError",
     "WatchdogTimeout",
     "CrashAt",
     "FaultInjector",

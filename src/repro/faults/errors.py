@@ -63,6 +63,25 @@ class LocalityCrashError(FaultError):
         super().__init__(message)
 
 
+class UnrecoverableCrashError(FaultError):
+    """Crash recovery ran out of budget: more localities died than
+    :class:`repro.recovery.RecoveryConfig` ``max_crashes`` allows (or no
+    survivor remains to re-home work onto).  The run cannot complete; the
+    message names every locality declared dead so far.
+    """
+
+    def __init__(self, localities: tuple[int, ...], *, detail: str = "") -> None:
+        self.localities = tuple(localities)
+        names = ", ".join(str(i) for i in self.localities)
+        message = (
+            f"crash recovery budget exhausted: localities [{names}] declared "
+            "dead"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class WatchdogTimeout(FaultError):
     """The watchdog deadline passed with the system still not finished.
 

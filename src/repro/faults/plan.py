@@ -34,6 +34,10 @@ _MASK = (1 << 64) - 1
 _ROLE_DROP = 0x11
 _ROLE_DUPLICATE = 0x22
 _ROLE_JITTER = 0x33
+#: heartbeat emission jitter of the crash-recovery failure detector
+#: (repro.recovery); registered here so the role-tag space stays collision-
+#: free as components add streams (0x44 breaker probe, 0x7D-0x83 verify/qos)
+ROLE_HEARTBEAT = 0x55
 
 
 def _splitmix64(x: int) -> int:

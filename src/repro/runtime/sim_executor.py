@@ -678,5 +678,16 @@ class SimExecutor:
         return self._total_spawned
 
     @property
+    def tasks_completed(self) -> int:
+        """Tasks that ran to termination on this executor.
+
+        On a halted (crashed) executor this freezes at the crash instant:
+        a task mid-execution when the machine died is neither completed nor
+        rolled back, which is exactly the accounting crash recovery needs
+        to balance re-executed work against lost work.
+        """
+        return sum(w.tasks_executed for w in self.workers)
+
+    @property
     def busy_workers(self) -> int:
         return self._busy_count

@@ -19,6 +19,7 @@ from repro.verify.harness import (
     expected_result,
     flip_fingerprint,
     run_dist,
+    run_dist_crash,
     run_sim,
     run_threads,
     verify_spec,
@@ -31,6 +32,7 @@ from repro.verify.invariants import (
     INVARIANTS,
     Invariant,
     PARCELS_CONSERVED,
+    RECOVERY_CONSERVED,
     RERUN_IDENTICAL,
     SPILL_CONSERVED,
     TASKS_CONSERVED,
@@ -47,6 +49,7 @@ __all__ = [
     "expected_result",
     "flip_fingerprint",
     "run_dist",
+    "run_dist_crash",
     "run_sim",
     "run_threads",
     "verify_spec",
@@ -60,6 +63,7 @@ __all__ = [
     "ANALYSIS_CLEAN",
     "RERUN_IDENTICAL",
     "BACKENDS_AGREE",
+    "RECOVERY_CONSERVED",
     "ShrinkResult",
     "shrink",
     "shrink_candidates",

@@ -28,7 +28,13 @@ graph the spec describes?" into an integer comparison.
    PF406), plus parcel conservation (PF401, trivially 0 == 0);
 6. **dist@N** (only when the spec says so) — the faulted multi-locality
    run: parcel conservation under drops/duplicates (PF401), task and
-   dependency-order conservation end-to-end (PF402/PF403).
+   dependency-order conservation end-to-end (PF402/PF403);
+7. **dist@N-crash** (``use_recovery`` specs) — the last locality dies
+   halfway through the clean dist@N run with crash recovery armed:
+   heartbeat detection, checkpoint restore, and lineage re-execution
+   must reproduce the exact structural fingerprint (PF403), conserve
+   application tasks (PF402) and parcels (PF401), and balance the
+   recovery ledger (PF408).
 
 ``mutate`` is the planted-discrepancy hook the shrinker tests use: it may
 rewrite any backend's :class:`StructuralResult` before comparison, letting
@@ -43,8 +49,9 @@ from typing import Callable
 from repro.analysis.dynamic import CheckError
 from repro.analysis.findings import Finding
 from repro.dist.runtime import DistConfig, DistRuntime
-from repro.faults.plan import FaultPlan, stream_u64
+from repro.faults.plan import CrashAt, FaultPlan, stream_u64
 from repro.faults.transport import RetryParams
+from repro.recovery import RecoveryConfig
 from repro.runtime.runtime import RunResult, Runtime, RuntimeConfig
 from repro.runtime.task import Priority
 from repro.runtime.thread_executor import ThreadRuntime
@@ -54,6 +61,7 @@ from repro.verify.invariants import (
     BACKENDS_AGREE,
     DEPENDENCY_ORDER_CONSERVED,
     PARCELS_CONSERVED,
+    RECOVERY_CONSERVED,
     RERUN_IDENTICAL,
     TASKS_CONSERVED,
 )
@@ -268,6 +276,45 @@ def run_dist(spec: WorkloadSpec, num_localities: int):
     return structural, result
 
 
+def run_dist_crash(spec: WorkloadSpec, crash_at_ns: int):
+    """The recovery leg: the last locality fail-stops at ``crash_at_ns``
+    with crash recovery armed; the survivors must detect it, restore the
+    checkpointed results, and re-execute the lost lineage — producing the
+    spec's exact structural answer.
+
+    ``tasks_executed`` is the *application* completion count (checkpoint
+    ticks and replacement double-completions netted out), so PF402 holds
+    on exactly the spec's tasks.
+    """
+    n = spec.num_localities
+    config = DistConfig(
+        num_localities=n,
+        platform=spec.platform,
+        cores_per_locality=spec.num_cores,
+        scheduler=spec.scheduler,
+        seed=spec.runtime_seed,
+        faults=FaultPlan(
+            seed=spec.fault_seed,
+            drop_rate=spec.drop_rate,
+            duplicate_rate=spec.duplicate_rate,
+            crashes=(CrashAt(n - 1, crash_at_ns),),
+        ),
+        # fail-fast on the dead link still needs the ack protocol alive
+        retry=RetryParams(),
+        # fuzz workloads are tiny, so checkpoint well below the default
+        # cadence or the restore path would never see a durable entry
+        crash_recovery=RecoveryConfig(checkpoint_interval_ns=100_000),
+    )
+    dist = DistRuntime(config)
+    placement = make_placement(spec.placement, spec.width, n)
+    entries = build_verify_graph(dist, spec, placement=placement)
+    result = dist.wait([f for _, _, _, f in entries])
+    structural = _fold(
+        spec, f"dist@{n}-crash", entries, result.app_tasks_completed
+    )
+    return structural, result
+
+
 # -- the differential ladder ----------------------------------------------------
 
 
@@ -358,6 +405,30 @@ def verify_spec(
             model.fingerprint, distn.fingerprint, backend=distn.backend
         )
         report.findings += PARCELS_CONSERVED.check(distn_run)
+
+        # 7. kill a locality mid-run; recovery must restore the answer
+        if spec.use_recovery:
+            crash_at = max(1, distn_run.execution_time_ns // 2)
+            distc, distc_run = run_dist_crash(spec, crash_at)
+            distc = post(distc.backend, distc)
+            report.findings += TASKS_CONSERVED.check(
+                spec.total_tasks, distc.unready, distc.tasks_executed
+            )
+            report.findings += DEPENDENCY_ORDER_CONSERVED.check(
+                model.fingerprint, distc.fingerprint, backend=distc.backend
+            )
+            report.findings += PARCELS_CONSERVED.check(distc_run)
+            report.findings += RECOVERY_CONSERVED.check(distc_run)
+            if distc_run.crashes_detected != 1:
+                report.findings.append(
+                    Finding(
+                        "PF408",
+                        "recovery conservation violated: expected exactly "
+                        "1 declared crash on the recovery leg, got "
+                        f"{distc_run.crashes_detected}",
+                        file="<invariant>",
+                    )
+                )
 
     return report
 

@@ -177,6 +177,55 @@ SPILL_CONSERVED = Invariant(
 )
 
 
+# -- PF408: crash recovery conserves the lost work ------------------------------
+
+
+def _recovery_violation(result: "DistRunResult") -> str | None:
+    if result.crashes_detected == 0:
+        if result.tasks_lost or result.tasks_reexecuted:
+            return (
+                "recovery conservation violated: "
+                f"{result.tasks_lost} tasks lost and "
+                f"{result.tasks_reexecuted} re-executed with no crash "
+                "declared"
+            )
+        return None
+    if result.tasks_reexecuted != result.tasks_lost:
+        return (
+            "recovery conservation violated: "
+            f"{result.tasks_lost} task(s) lost to the crash but "
+            f"{result.tasks_reexecuted} re-executed (lost work must be "
+            "re-executed exactly once)"
+        )
+    if result.tasks_restored > result.tasks_checkpointed:
+        return (
+            "recovery conservation violated: "
+            f"{result.tasks_restored} task(s) restored exceeds the "
+            f"{result.tasks_checkpointed} ever made durable (a restore "
+            "must come from a checkpoint)"
+        )
+    decomposed = (
+        result.detection_ns + result.restore_ns + result.reexecution_ns
+    )
+    if decomposed != result.recovery_total_ns:
+        return (
+            "recovery conservation violated: time-to-recover "
+            f"{result.recovery_total_ns} ns != detection "
+            f"{result.detection_ns} + restore {result.restore_ns} + "
+            f"re-execution {result.reexecution_ns} ns"
+        )
+    return None
+
+
+RECOVERY_CONSERVED = Invariant(
+    "PF408",
+    "recovery-conserved",
+    "lost tasks are re-executed exactly once, restores come from durable "
+    "checkpoints, and time-to-recover decomposes exactly",
+    _recovery_violation,
+)
+
+
 # -- PF405: the dynamic checker stays clean -------------------------------------
 
 
@@ -277,6 +326,7 @@ INVARIANTS: dict[str, Invariant] = {
         ANALYSIS_CLEAN,
         RERUN_IDENTICAL,
         BACKENDS_AGREE,
+        RECOVERY_CONSERVED,
     )
 }
 
@@ -291,4 +341,5 @@ __all__ = [
     "ANALYSIS_CLEAN",
     "RERUN_IDENTICAL",
     "BACKENDS_AGREE",
+    "RECOVERY_CONSERVED",
 ]

@@ -8,8 +8,8 @@ shrinkers do, but over the workload-spec lattice instead of a bytestream:
 
 - each candidate in :func:`shrink_candidates` is one *structurally
   simpler* spec — drop pattern phases, halve the grid, drop the fault
-  plan, collapse to one locality, turn priorities or per-task QoS classes
-  off, coarsen the grain;
+  plan or the crash-with-recovery leg, collapse to one locality, turn
+  priorities or per-task QoS classes off, coarsen the grain;
 - every candidate **strictly reduces** ``spec.size()`` (candidates that
   would not are never yielded), so greedy descent provably terminates:
   size is a positive integer and each accepted step decreases it;
@@ -66,15 +66,23 @@ def shrink_candidates(spec: WorkloadSpec) -> Iterator[WorkloadSpec]:
     if spec.width > 1:
         # halving a power-of-two width keeps fft admissible; localities
         # may not outnumber columns, so clamp them together
+        clamped = min(spec.num_localities, spec.width // 2)
         candidates.append(
             _try(
                 spec,
                 width=spec.width // 2,
-                num_localities=min(spec.num_localities, spec.width // 2),
+                num_localities=clamped,
+                use_recovery=spec.use_recovery and clamped > 1,
             )
         )
     if spec.num_localities > 1:
-        candidates.append(_try(spec, num_localities=1))
+        # recovery needs a survivor, so collapsing to one locality drops
+        # the crash leg with it
+        candidates.append(
+            _try(spec, num_localities=1, use_recovery=False)
+        )
+    if spec.use_recovery:
+        candidates.append(_try(spec, use_recovery=False))
     if spec.faults_active:
         candidates.append(_try(spec, drop_rate=0.0, duplicate_rate=0.0))
     if spec.use_priorities:

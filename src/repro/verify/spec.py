@@ -87,6 +87,10 @@ class WorkloadSpec:
     use_qos: bool = False
     #: how many of the three default classes the draw uses (2 or 3)
     num_qos_classes: int = 2
+    #: crash-with-recovery leg: the last locality dies halfway through the
+    #: clean multi-locality run and checkpoint/restart + lineage
+    #: re-execution must reproduce the exact structural answer
+    use_recovery: bool = False
 
     def __post_init__(self) -> None:
         if not self.patterns:
@@ -129,6 +133,11 @@ class WorkloadSpec:
             raise ValueError(
                 f"num_qos_classes must be 2 or 3, got {self.num_qos_classes}"
             )
+        if self.use_recovery and self.num_localities < 2:
+            raise ValueError(
+                "use_recovery needs num_localities >= 2 (a survivor must "
+                "remain to recover onto)"
+            )
 
     # -- derived shape ---------------------------------------------------------
 
@@ -152,6 +161,7 @@ class WorkloadSpec:
             + (self.num_localities - 1)
             + int(self.grain_ns < COARSE_GRAIN_NS)
             + int(self.use_qos)
+            + int(self.use_recovery)
         )
 
     def make_kernel(self) -> KernelSpec:
@@ -200,6 +210,7 @@ class WorkloadSpec:
             "fault_seed": self.fault_seed,
             "use_qos": self.use_qos,
             "num_qos_classes": self.num_qos_classes,
+            "use_recovery": self.use_recovery,
         }
 
     @classmethod
@@ -243,6 +254,14 @@ def generate_spec(seed: int) -> WorkloadSpec:
     # ~1/3 of the corpus routes through the QoS bucket scheduler with
     # seeded per-task classes; parity (PF401-PF407) must hold there too
     use_qos = stream_u64(seed, _ROLE_GEN, 14) % 3 == 0
+    # ~1/3 of the clean multi-locality specs also run the crash-with-
+    # recovery leg (PF408); kept disjoint from wire faults so each
+    # complication shrinks away independently
+    use_recovery = (
+        num_localities > 1
+        and not faulted
+        and stream_u64(seed, _ROLE_GEN, 16) % 3 == 0
+    )
     return WorkloadSpec(
         seed=stream_u64(seed, _ROLE_GEN, 99),
         patterns=patterns,
@@ -262,6 +281,7 @@ def generate_spec(seed: int) -> WorkloadSpec:
         fault_seed=stream_u64(seed, _ROLE_GEN, 13) % 2**32,
         use_qos=use_qos,
         num_qos_classes=2 + stream_u64(seed, _ROLE_GEN, 15) % 2,
+        use_recovery=use_recovery,
     )
 
 

@@ -52,6 +52,112 @@ class TestWrite:
         assert path.name == "BENCH_unknown.json"
 
 
+def _payload(**walls):
+    return {
+        "revision": "test",
+        "records": [
+            {"experiment": name, "wall_s": wall, "tasks": 1, "scale": "bench"}
+            for name, wall in walls.items()
+        ],
+    }
+
+
+class TestCompare:
+    def test_within_threshold_is_ok(self):
+        result = benchlog.compare(
+            _payload(figC=1.0, figQ=2.0), _payload(figC=1.2, figQ=1.9)
+        )
+        assert result.ok
+        assert result.regressions == ()
+
+    def test_regression_above_threshold_fails(self):
+        result = benchlog.compare(_payload(figC=1.0), _payload(figC=1.3))
+        assert not result.ok
+        assert [r.experiment for r in result.regressions] == ["figC"]
+        assert result.rows[0].ratio == pytest.approx(1.3)
+
+    def test_exactly_at_threshold_is_ok(self):
+        result = benchlog.compare(_payload(figC=1.0), _payload(figC=1.25))
+        assert result.ok
+
+    def test_custom_threshold(self):
+        result = benchlog.compare(
+            _payload(figC=1.0), _payload(figC=1.2), threshold=0.1
+        )
+        assert not result.ok
+
+    def test_new_and_retired_experiments_never_regress(self):
+        result = benchlog.compare(
+            _payload(figOld=1.0), _payload(figNew=100.0)
+        )
+        assert result.ok
+        by_name = {r.experiment: r for r in result.rows}
+        assert by_name["figNew"].old_wall_s is None
+        assert by_name["figOld"].new_wall_s is None
+        assert by_name["figNew"].ratio is None
+
+    def test_duplicate_records_accumulate(self):
+        old = {
+            "records": [
+                {"experiment": "figC", "wall_s": 0.5, "tasks": 1, "scale": "bench"},
+                {"experiment": "figC", "wall_s": 0.5, "tasks": 1, "scale": "bench"},
+            ]
+        }
+        result = benchlog.compare(old, _payload(figC=1.0))
+        assert result.rows[0].old_wall_s == pytest.approx(1.0)
+        assert result.ok
+
+    def test_zero_old_wall_never_divides(self):
+        result = benchlog.compare(_payload(figC=0.0), _payload(figC=1.0))
+        assert result.rows[0].ratio is None
+        assert result.ok
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            benchlog.compare(_payload(), _payload(), threshold=-0.1)
+
+    def test_table_names_the_regression(self):
+        result = benchlog.compare(
+            _payload(figC=1.0, figQ=1.0), _payload(figC=2.0, figQ=1.0)
+        )
+        table = benchlog.format_table(result)
+        assert "REGRESSED" in table
+        assert "figC" in table and "figQ" in table
+        assert "1 regression(s) above 25%: figC" in table
+
+    def test_clean_table_says_so(self):
+        table = benchlog.format_table(
+            benchlog.compare(_payload(figC=1.0), _payload(figC=1.0))
+        )
+        assert "no wall-time regression above 25%" in table
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _payload(figC=1.0))
+        new = self._write(tmp_path, "new.json", _payload(figC=1.1))
+        assert benchlog.main(["compare", str(old), str(new)]) == 0
+        assert "figC" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _payload(figC=1.0))
+        new = self._write(tmp_path, "new.json", _payload(figC=2.0))
+        assert benchlog.main(["compare", str(old), str(new)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        old = self._write(tmp_path, "old.json", _payload(figC=1.0))
+        new = self._write(tmp_path, "new.json", _payload(figC=1.4))
+        assert benchlog.main(
+            ["compare", str(old), str(new), "--threshold", "0.5"]
+        ) == 0
+
+
 class TestGitRevision:
     def test_outside_a_checkout_is_unknown(self, tmp_path):
         assert benchlog.git_revision(tmp_path) == "unknown"

@@ -25,6 +25,7 @@ EXPECTED_OUTPUT = {
     "parallel_algorithms.py": "auto vs best static",
     "distributed_stencil.py": "best grain moves coarser",
     "fault_injection.py": "parcel conservation holds",
+    "crash_recovery.py": "bit-identical to the crash-free run: True",
     "taskbench_patterns.py": "the dependence-free pattern tolerates",
     "overload_control.py": "goodput plateaus",
 }

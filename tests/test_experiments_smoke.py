@@ -128,12 +128,12 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 20
+        assert len(cli.EXPERIMENT_MODULES) == 21
 
     def test_list_subcommand(self, capsys):
         assert cli.main(["list"]) == 0
         out = capsys.readouterr().out
-        for figure in ("figT", "figD", "figR", "figQ"):
+        for figure in ("figT", "figD", "figR", "figQ", "figC"):
             assert figure in out
         # One line per experiment: name plus its one-line title.
         lines = [line for line in out.splitlines() if line.strip()]
