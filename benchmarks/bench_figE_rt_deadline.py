@@ -1,0 +1,15 @@
+"""figE: deadline-miss rate vs grain across overhead regimes.
+
+See the module docstring of ``repro.experiments.figE_rt_deadline`` for
+the claims (the miss-rate U in grain, the best grain strictly coarsening
+with task-management overhead, priority inversion under protocol
+``none`` that inheritance bounds and the ceiling prevents, everything
+conserving and bit-reproducible) the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figE_rt_deadline
+
+
+def test_figE_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figE_rt_deadline, bench_scale)

@@ -79,6 +79,12 @@ RULES: dict[str, Rule] = {
             "wall/monotonic clock, datetime.now()) — breaks bit-identical "
             "replay; use the seeded SplitMix64 streams or inject an RNG",
         ),
+        Rule(
+            "TG107", "adhoc-lock-in-task", Severity.WARNING,
+            "task body takes a shared Lock/RLock the scheduler cannot see "
+            "— unbounded priority inversion; declare the resource with a "
+            "critical section (repro.rt) so a protocol bounds the blocking",
+        ),
         # -- graph analysis ---------------------------------------------------
         Rule(
             "GA201", "dependency-cycle", Severity.ERROR,
@@ -146,6 +152,12 @@ RULES: dict[str, Rule] = {
             "!= losses, restores exceed durable checkpoints, or time-to-"
             "recover does not decompose into detection + restore + "
             "re-execution",
+        ),
+        Rule(
+            "PF409", "rt-conservation", Severity.ERROR,
+            "the deadline ledger does not balance: released != on-time + "
+            "missed for some RT task, blocked time recorded without any "
+            "contended acquire, or the miss set differs between reruns",
         ),
     ]
 }

@@ -1,4 +1,4 @@
-"""The lint rules (TG101–TG106) over a parsed workload module.
+"""The lint rules (TG101–TG107) over a parsed workload module.
 
 Each rule is a function ``(ctx) -> list[Finding]`` over a shared
 :class:`LintContext`; the driver in ``lint/__init__`` runs them all and
@@ -431,6 +431,79 @@ def check_nondeterministic_source(ctx: LintContext) -> list[Finding]:
     return findings
 
 
+# -- TG107: ad-hoc lock acquisition inside a task body -----------------------------
+
+#: constructors that build an OS-thread mutex, bare or ``threading.``-qualified
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+
+
+def _shared_lock_names(ctx: LintContext) -> set[str]:
+    """Names bound to a ``Lock()``/``RLock()`` constructor anywhere in the
+    module (``threading.Lock()`` and ``from threading import Lock`` alike)."""
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        else:
+            continue
+        if isinstance(value, ast.Call) and call_name(value) in _LOCK_CTORS:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def check_adhoc_lock_in_task(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    locks = _shared_lock_names(ctx)
+    if not locks:
+        return findings
+    seen: set[tuple[int, int]] = set()
+
+    def flag(node: ast.AST, name: str, how: str) -> None:
+        line, col = _loc(node)
+        if (line, col) in seen:
+            return
+        seen.add((line, col))
+        findings.append(
+            Finding(
+                "TG107",
+                f"task body {how} shared lock {name!r} directly — the "
+                "scheduler cannot see an ad-hoc mutex, so a low-priority "
+                "holder can be starved while a high-priority waiter blocks "
+                "(unbounded priority inversion); declare the resource on "
+                "the task spec (repro.rt: resource + critical_section_ns) "
+                "so the inherit/ceiling protocol bounds the blocking",
+                ctx.filename, line, col,
+            )
+        )
+
+    for site in ctx.sites:
+        scope = ctx.body_scope(site)
+        if scope is None:
+            continue
+        for node, _wd in _body_nodes(scope):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    name = _base_name(item.context_expr)
+                    if name in locks and not _bound_in_function(scope, name):
+                        flag(item.context_expr, name, "enters (with)")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                name = _base_name(node.func.value)
+                if (
+                    name in locks
+                    and not _bound_in_function(scope, name)
+                ):
+                    flag(node, name, "acquires")
+    return findings
+
+
 ALL_RULES = [
     check_blocking_get,
     check_lost_future,
@@ -438,4 +511,5 @@ ALL_RULES = [
     check_per_element_spawn,
     check_unfulfilled_future,
     check_nondeterministic_source,
+    check_adhoc_lock_in_task,
 ]

@@ -39,6 +39,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "figT": "repro.experiments.figT_taskbench_metg",
     "figO": "repro.experiments.figO_overload",
     "figQ": "repro.experiments.figQ_qos_isolation",
+    "figE": "repro.experiments.figE_rt_deadline",
     "selection": "repro.experiments.selection_experiment",
     "tuner": "repro.experiments.tuner_experiment",
     "ablation": "repro.experiments.ablations",

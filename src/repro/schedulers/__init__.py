@@ -38,6 +38,14 @@ def _make_qos_scheduler() -> SchedulingPolicy:
     return QosBucketScheduler()
 
 
+def _make_rt_edf_scheduler() -> SchedulingPolicy:
+    # Same layering story as the QoS scheduler: repro.rt builds on this
+    # package, so the registry refers to it by lazy factory.
+    from repro.rt.scheduler import EdfScheduler
+
+    return EdfScheduler()
+
+
 #: Registry of scheduler constructors by command-line name.
 SCHEDULERS = {
     "priority-local": PriorityLocalScheduler,
@@ -46,6 +54,7 @@ SCHEDULERS = {
     "global-queue": GlobalQueueScheduler,
     "numa-blind": NumaBlindStealingScheduler,
     "qos": _make_qos_scheduler,
+    "rt-edf": _make_rt_edf_scheduler,
 }
 
 

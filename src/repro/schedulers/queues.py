@@ -105,6 +105,21 @@ class DualQueue:
 
     # -- introspection (no access counted; used for termination checks) --------
 
+    def head_task(self) -> Task | None:
+        """Peek the oldest hot entry (earliest ``created_ns``), or None.
+
+        Companion to :meth:`head_created_ns` for deadline-ordered root
+        selection that needs the head *task* (the RT EDF scheduler reads
+        its deadline tag).  Both lanes are FIFO, so the older of the two
+        heads is the queue's earliest arrival.  No access is counted.
+        """
+        head = self._pending[0] if self._pending else None
+        if self._staged:
+            staged_head = self._staged[0]
+            if head is None or staged_head.created_ns < head.created_ns:
+                head = staged_head
+        return head
+
     def head_created_ns(self) -> int | None:
         """Earliest ``created_ns`` among the queue heads, or None if hot-empty.
 

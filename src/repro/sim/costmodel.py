@@ -126,6 +126,12 @@ class CostModel:
         """Cost of one queue inspection (hit or miss)."""
         return int(self.params.poll_cost_ns)
 
+    def lock_cost_ns(self) -> int:
+        """Cost of one shared-resource acquisition (repro.rt critical
+        sections); charged to the acquiring subtask so lock traffic moves
+        the simulated clock, not just the counters."""
+        return int(self.params.lock_overhead_ns)
+
     def steal_cost_ns(self, *, same_domain: bool) -> int:
         """Extra cost of acquiring work from another worker's queues."""
         if same_domain:

@@ -48,6 +48,10 @@ class CostParams:
     switch_frac: float = 0.30
     #: cost of one look into a queue (hit or miss)
     poll_cost_ns: float = 40.0
+    #: cost of taking a shared-resource lock (the critical-section entry of
+    #: the RT scenario pack, repro.rt); an uncontended atomic plus the
+    #: bookkeeping HPX spends on a mutex fast path
+    lock_overhead_ns: float = 60.0
     #: extra cost of taking work from another worker in the same NUMA domain
     steal_cost_ns: float = 250.0
     #: extra cost of taking work from a remote NUMA domain

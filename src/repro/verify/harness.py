@@ -34,7 +34,13 @@ graph the spec describes?" into an integer comparison.
    heartbeat detection, checkpoint restore, and lineage re-execution
    must reproduce the exact structural fingerprint (PF403), conserve
    application tasks (PF402) and parcels (PF401), and balance the
-   recovery ledger (PF408).
+   recovery ledger (PF408);
+8. **rt** (``use_rt`` specs) — a small fixed task set runs twice through
+   :func:`repro.rt.service.run_rt_service` with the protocol and grain
+   drawn from the spec seed: the deadline ledger must balance, blocked
+   time must imply contention, and the miss set must replay
+   bit-identically (PF409), with the underlying runs themselves
+   bit-identical (PF406).
 
 ``mutate`` is the planted-discrepancy hook the shrinker tests use: it may
 rewrite any backend's :class:`StructuralResult` before comparison, letting
@@ -63,6 +69,7 @@ from repro.verify.invariants import (
     PARCELS_CONSERVED,
     RECOVERY_CONSERVED,
     RERUN_IDENTICAL,
+    RT_CONSERVED,
     TASKS_CONSERVED,
 )
 from repro.verify.spec import WorkloadSpec
@@ -72,6 +79,7 @@ _ROLE_VALUE = 0x80
 _ROLE_FOLD = 0x81
 _ROLE_PRIORITY = 0x82
 _ROLE_QOS = 0x83
+_ROLE_RT = 0x84
 
 #: wall-clock ceiling for the thread backend's wait_idle
 THREAD_TIMEOUT_S = 60.0
@@ -315,6 +323,66 @@ def run_dist_crash(spec: WorkloadSpec, crash_at_ns: int):
     return structural, result
 
 
+def run_rt(spec: WorkloadSpec):
+    """The real-time leg: one fixed three-task window whose protocol and
+    grain are drawn from the spec seed.
+
+    The set is deliberately tiny (a 200 us window on 2 cores) — the PF409
+    laws are structural, so they violate at trivial sizes if they violate
+    at all, and the corpus optimizes for specs per second.  ``ctrl`` and
+    ``log`` contend for one resource so every protocol branch (grant,
+    park, boost, re-queue) actually executes.
+    """
+    from repro.rt.model import PeriodicTaskSpec, SporadicTaskSpec, TaskSet
+    from repro.rt.resources import PROTOCOLS
+    from repro.rt.service import RtServiceConfig, run_rt_service
+
+    protocol = PROTOCOLS[stream_u64(spec.seed, _ROLE_RT, 0) % len(PROTOCOLS)]
+    grain_ns = (1_000, 2_000, 4_000)[stream_u64(spec.seed, _ROLE_RT, 1) % 3]
+    taskset = TaskSet(
+        seed=spec.seed,
+        tasks=(
+            SporadicTaskSpec(
+                name="ctrl",
+                wcet_ns=8_000,
+                # tight enough that resource waits push some (not all)
+                # corpus seeds over it — the miss-set replay check of
+                # PF409 must compare nonempty sets somewhere
+                relative_deadline_ns=12_000,
+                min_separation_ns=50_000,
+                resource="bus",
+                critical_section_ns=2_000,
+            ),
+            PeriodicTaskSpec(
+                name="spin",
+                wcet_ns=30_000,
+                relative_deadline_ns=120_000,
+                period_ns=80_000,
+                exec_variation=0.2,
+            ),
+            PeriodicTaskSpec(
+                name="log",
+                wcet_ns=16_000,
+                relative_deadline_ns=160_000,
+                period_ns=160_000,
+                phase_ns=1_000,
+                resource="bus",
+                critical_section_ns=8_000,
+            ),
+        ),
+    ).with_grain(grain_ns)
+    return run_rt_service(
+        taskset,
+        RtServiceConfig(
+            platform=spec.platform,
+            num_cores=2,
+            seed=spec.runtime_seed,
+            window_ns=200_000,
+            protocol=protocol,
+        ),
+    )
+
+
 # -- the differential ladder ----------------------------------------------------
 
 
@@ -429,6 +497,15 @@ def verify_spec(
                         file="<invariant>",
                     )
                 )
+
+    # 8. the real-time leg: the deadline ledger balances and replays
+    if spec.use_rt:
+        rt_first = run_rt(spec)
+        rt_second = run_rt(spec)
+        report.findings += RT_CONSERVED.check(rt_first, rt_second)
+        report.findings += RERUN_IDENTICAL.check(
+            rt_first.result, rt_second.result
+        )
 
     return report
 

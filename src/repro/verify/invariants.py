@@ -29,6 +29,7 @@ from repro.analysis.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dist imports us)
     from repro.dist.runtime import DistRunResult
+    from repro.rt.service import RtServiceOutcome
     from repro.runtime.runtime import RunResult
 
 
@@ -226,6 +227,51 @@ RECOVERY_CONSERVED = Invariant(
 )
 
 
+# -- PF409: the deadline ledger balances and replays ----------------------------
+
+
+def _rt_violation(
+    first: "RtServiceOutcome", second: "RtServiceOutcome"
+) -> str | None:
+    for index, s in first.stats.items():
+        if s.released != s.on_time + s.missed:
+            return (
+                "rt conservation violated: task "
+                f"{first.taskset.tasks[index].name!r} released {s.released} "
+                f"jobs != {s.on_time} on time + {s.missed} missed"
+            )
+    res = first.resources
+    if res.blocked == 0 and (res.blocked_ns or res.max_blocked_ns):
+        return (
+            "rt conservation violated: no acquire ever blocked yet "
+            f"{res.blocked_ns} ns of blocked time was recorded (blocked "
+            "time without contention)"
+        )
+    if first.released() != second.released():
+        return (
+            "rt conservation violated: rerun released "
+            f"{second.released()} jobs, first run {first.released()} — "
+            "the open-loop release schedule is seed-deterministic"
+        )
+    if first.missed_jobs() != second.missed_jobs():
+        return (
+            "rt conservation violated: rerun missed "
+            f"{second.missed_jobs()} but first run missed "
+            f"{first.missed_jobs()} — the miss set must replay "
+            "bit-identically"
+        )
+    return None
+
+
+RT_CONSERVED = Invariant(
+    "PF409",
+    "rt-conserved",
+    "released == on-time + missed per RT task, blocked time only under "
+    "contention, and the miss set replays bit-identically",
+    _rt_violation,
+)
+
+
 # -- PF405: the dynamic checker stays clean -------------------------------------
 
 
@@ -327,6 +373,7 @@ INVARIANTS: dict[str, Invariant] = {
         RERUN_IDENTICAL,
         BACKENDS_AGREE,
         RECOVERY_CONSERVED,
+        RT_CONSERVED,
     )
 }
 
@@ -342,4 +389,5 @@ __all__ = [
     "RERUN_IDENTICAL",
     "BACKENDS_AGREE",
     "RECOVERY_CONSERVED",
+    "RT_CONSERVED",
 ]

@@ -8,8 +8,9 @@ shrinkers do, but over the workload-spec lattice instead of a bytestream:
 
 - each candidate in :func:`shrink_candidates` is one *structurally
   simpler* spec — drop pattern phases, halve the grid, drop the fault
-  plan or the crash-with-recovery leg, collapse to one locality, turn
-  priorities or per-task QoS classes off, coarsen the grain;
+  plan, the crash-with-recovery leg, or the real-time leg, collapse to
+  one locality, turn priorities or per-task QoS classes off, coarsen
+  the grain;
 - every candidate **strictly reduces** ``spec.size()`` (candidates that
   would not are never yielded), so greedy descent provably terminates:
   size is a positive integer and each accepted step decreases it;
@@ -83,6 +84,8 @@ def shrink_candidates(spec: WorkloadSpec) -> Iterator[WorkloadSpec]:
         )
     if spec.use_recovery:
         candidates.append(_try(spec, use_recovery=False))
+    if spec.use_rt:
+        candidates.append(_try(spec, use_rt=False))
     if spec.faults_active:
         candidates.append(_try(spec, drop_rate=0.0, duplicate_rate=0.0))
     if spec.use_priorities:

@@ -91,6 +91,11 @@ class WorkloadSpec:
     #: clean multi-locality run and checkpoint/restart + lineage
     #: re-execution must reproduce the exact structural answer
     use_recovery: bool = False
+    #: real-time leg: a small fixed task set runs twice through
+    #: ``run_rt_service`` (protocol drawn from the spec seed) and PF409
+    #: must hold — released == on-time + missed, blocked time only under
+    #: contention, bit-identical miss sets across the two runs
+    use_rt: bool = False
 
     def __post_init__(self) -> None:
         if not self.patterns:
@@ -162,6 +167,7 @@ class WorkloadSpec:
             + int(self.grain_ns < COARSE_GRAIN_NS)
             + int(self.use_qos)
             + int(self.use_recovery)
+            + int(self.use_rt)
         )
 
     def make_kernel(self) -> KernelSpec:
@@ -211,6 +217,7 @@ class WorkloadSpec:
             "use_qos": self.use_qos,
             "num_qos_classes": self.num_qos_classes,
             "use_recovery": self.use_recovery,
+            "use_rt": self.use_rt,
         }
 
     @classmethod
@@ -262,6 +269,9 @@ def generate_spec(seed: int) -> WorkloadSpec:
         and not faulted
         and stream_u64(seed, _ROLE_GEN, 16) % 3 == 0
     )
+    # ~1/4 of the corpus also runs the real-time leg (PF409); drawn at a
+    # fresh index so older specs replay unchanged
+    use_rt = stream_u64(seed, _ROLE_GEN, 17) % 4 == 0
     return WorkloadSpec(
         seed=stream_u64(seed, _ROLE_GEN, 99),
         patterns=patterns,
@@ -282,6 +292,7 @@ def generate_spec(seed: int) -> WorkloadSpec:
         use_qos=use_qos,
         num_qos_classes=2 + stream_u64(seed, _ROLE_GEN, 15) % 2,
         use_recovery=use_recovery,
+        use_rt=use_rt,
     )
 
 

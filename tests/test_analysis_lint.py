@@ -387,6 +387,94 @@ def test_tg106_noqa_is_honored():
     assert not findings_for(src, "TG106")
 
 
+# -- TG107: ad-hoc lock acquisition in a task body ---------------------------------
+
+TG107_WITH = """
+import threading
+lock = threading.Lock()
+counts = {}
+def body():
+    with lock:
+        counts["n"] = counts.get("n", 0) + 1
+f = rt.async_(body)
+rt.run()
+print(f.value, counts)
+"""
+
+TG107_ACQUIRE = """
+from threading import RLock
+guard = RLock()
+def body():
+    guard.acquire()
+    try:
+        return 1
+    finally:
+        guard.release()
+f = rt.async_(body)
+rt.run()
+print(f.value)
+"""
+
+TG107_CLEAN_INJECTED = """
+import threading
+lock = threading.Lock()
+def run_it(rt, lock):
+    results = []
+    def body(i):
+        with lock:
+            results.append(i)  # noqa: TG103
+    fs = [rt.async_(body, i) for i in range(4)]
+    rt.run()
+    return results, fs
+"""
+
+TG107_CLEAN_DRIVER = """
+import threading
+lock = threading.Lock()
+f = rt.async_(lambda: 1)
+with lock:
+    rt.run()
+print(f.value)
+"""
+
+
+def test_tg107_with_block_on_module_lock():
+    found = findings_for(TG107_WITH, "TG107")
+    assert len(found) == 1
+    assert "'lock'" in found[0].message
+    assert "repro.rt" in found[0].message
+
+
+def test_tg107_explicit_acquire():
+    found = findings_for(TG107_ACQUIRE, "TG107")
+    assert len(found) == 1
+    assert "acquires" in found[0].message
+
+
+def test_tg107_injected_lock_is_exempt():
+    # A lock received as a parameter is the sanctioned injected-dependency
+    # shape (same exemption as TG106's injected RNG).
+    assert not findings_for(TG107_CLEAN_INJECTED, "TG107")
+
+
+def test_tg107_driver_lock_is_clean():
+    assert not findings_for(TG107_CLEAN_DRIVER, "TG107")
+
+
+def test_tg107_noqa_is_honored():
+    src = (
+        "from threading import Lock\n"
+        "lock = Lock()\n"
+        "def body():\n"
+        "    with lock:  # noqa: TG107\n"
+        "        return 1\n"
+        "f = rt.async_(body)\n"
+        "rt.run()\n"
+        "print(f.value)\n"
+    )
+    assert not findings_for(src, "TG107")
+
+
 # -- suppression syntax ------------------------------------------------------------
 
 

@@ -26,6 +26,7 @@ EXPECTED_OUTPUT = {
     "distributed_stencil.py": "best grain moves coarser",
     "fault_injection.py": "parcel conservation holds",
     "crash_recovery.py": "bit-identical to the crash-free run: True",
+    "realtime_tasks.py": "reruns bit-identical (miss sets, time, counters): True",
     "taskbench_patterns.py": "the dependence-free pattern tolerates",
     "overload_control.py": "goodput plateaus",
 }

@@ -128,12 +128,12 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 21
+        assert len(cli.EXPERIMENT_MODULES) == 22
 
     def test_list_subcommand(self, capsys):
         assert cli.main(["list"]) == 0
         out = capsys.readouterr().out
-        for figure in ("figT", "figD", "figR", "figQ", "figC"):
+        for figure in ("figT", "figD", "figR", "figQ", "figC", "figE"):
             assert figure in out
         # One line per experiment: name plus its one-line title.
         lines = [line for line in out.splitlines() if line.strip()]
@@ -233,6 +233,42 @@ class TestFigQSmoke:
         assert tenants == {"web", "api", "etl"}
         ablation = {s.label for s in fig.panels["C scheduler ablation at 4x"]}
         assert "web p99 (us)" in ablation
+
+
+class TestFigESmoke:
+    """figE (deadline-miss rate vs grain) runs end-to-end at smoke scale.
+
+    The RT shape claims — the miss-rate U at the baseline overhead
+    regime, the best grain strictly coarsening with overhead, the
+    protocol contrast (inversion under ``none``, bounded blocking under
+    inheritance), determinism and conservation — are properties of the
+    stack, not of sweep density, so they are asserted at smoke scale
+    with the reduced grain/regime grid.
+    """
+
+    def test_run_and_checks(self):
+        from repro.experiments import figE_rt_deadline as exp
+
+        fig = exp.run(SMOKE)
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems
+        labels = {s.label for s in fig.panels["summary"]}
+        assert "determinism (1 = bit-identical rerun)" in labels
+        assert "conservation violations" in labels
+        for scheduler in exp.SCHEDULERS_SMOKE:
+            panel = f"miss rate vs grain ({scheduler})"
+            factors = {s.label for s in fig.panels[panel]}
+            assert factors == {
+                f"overhead x{f:g}" for f in exp.FACTORS_SMOKE
+            }
+        protocols = {
+            s.label for s in fig.panels["resource protocols at valley grain"]
+        }
+        assert protocols == {
+            "inversions",
+            "max blocked (ns)",
+            "ctrl deadline misses",
+        }
 
 
 class TestExtensionExperimentsSmoke:

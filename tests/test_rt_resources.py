@@ -1,0 +1,184 @@
+"""Unit tests for the resource protocols (repro.rt.resources).
+
+The jobs here are bare stand-ins carrying exactly the duck-typed surface
+the :class:`ResourceManager` reads (``job_id`` / ``base_priority`` /
+``effective_priority``) — the protocol logic is testable without spinning
+up the service layer or the simulator.
+"""
+
+import pytest
+
+from repro.rt.resources import PROTOCOLS, ResourceManager
+from repro.runtime.task import Priority
+
+
+class FakeJob:
+    def __init__(self, job_id: int, priority: Priority):
+        self.job_id = job_id
+        self.base_priority = priority
+        self.effective_priority = priority
+
+    def __repr__(self):
+        return f"FakeJob({self.job_id}, {self.effective_priority!r})"
+
+
+def manager(protocol="none", threshold=1_000, ceilings=None):
+    return ResourceManager(
+        ("bus",),
+        protocol=protocol,
+        inversion_threshold_ns=threshold,
+        ceilings=ceilings,
+    )
+
+
+def test_grant_when_free_and_block_when_held():
+    m = manager()
+    low = FakeJob(0, Priority.LOW)
+    high = FakeJob(1, Priority.HIGH)
+    assert m.acquire(low, "bus", 0)
+    assert m.holder("bus") is low
+    assert not m.acquire(high, "bus", 10)
+    assert m.waiting("bus") == 1
+    assert m.stats.blocked == 1
+
+
+def test_release_grants_highest_priority_waiter():
+    m = manager()
+    holder = FakeJob(0, Priority.NORMAL)
+    mid = FakeJob(1, Priority.NORMAL)
+    high = FakeJob(2, Priority.HIGH)
+    assert m.acquire(holder, "bus", 0)
+    assert not m.acquire(mid, "bus", 5)
+    assert not m.acquire(high, "bus", 10)
+    winner = m.release(holder, "bus", 100)
+    assert winner is high  # priority beats arrival order
+    assert m.holder("bus") is high
+    assert m.release(high, "bus", 120) is mid
+
+
+def test_equal_priority_ties_break_on_blocked_since_then_job_id():
+    m = manager()
+    holder = FakeJob(0, Priority.NORMAL)
+    first = FakeJob(2, Priority.NORMAL)
+    second = FakeJob(1, Priority.NORMAL)
+    m.acquire(holder, "bus", 0)
+    m.acquire(first, "bus", 5)
+    m.acquire(second, "bus", 9)
+    assert m.release(holder, "bus", 50) is first  # earlier blocked-since wins
+
+
+def test_none_protocol_never_boosts():
+    m = manager("none")
+    low = FakeJob(0, Priority.LOW)
+    high = FakeJob(1, Priority.HIGH)
+    m.acquire(low, "bus", 0)
+    m.acquire(high, "bus", 10)
+    assert low.effective_priority == Priority.LOW
+    assert m.stats.inheritance_boosts == 0
+
+
+def test_inherit_boosts_holder_to_waiter_priority():
+    m = manager("inherit")
+    boosted = []
+    m.on_boost = boosted.append
+    low = FakeJob(0, Priority.LOW)
+    high = FakeJob(1, Priority.HIGH)
+    m.acquire(low, "bus", 0)
+    m.acquire(high, "bus", 10)
+    assert low.effective_priority == Priority.HIGH
+    assert low.base_priority == Priority.LOW
+    assert m.stats.inheritance_boosts == 1
+    assert boosted == [low]
+
+
+def test_inherit_boost_is_monotone_not_demoting():
+    m = manager("inherit")
+    holder = FakeJob(0, Priority.HIGH)
+    normal = FakeJob(1, Priority.NORMAL)
+    m.acquire(holder, "bus", 0)
+    m.acquire(normal, "bus", 5)
+    # a lower-priority waiter never demotes the holder
+    assert holder.effective_priority == Priority.HIGH
+    assert m.stats.inheritance_boosts == 0
+
+
+def test_inherit_rechains_boost_to_next_holder():
+    m = manager("inherit")
+    low = FakeJob(0, Priority.LOW)
+    mid = FakeJob(1, Priority.NORMAL)
+    high = FakeJob(2, Priority.HIGH)
+    m.acquire(low, "bus", 0)
+    m.acquire(mid, "bus", 5)
+    m.acquire(high, "bus", 10)
+    winner = m.release(low, "bus", 50)
+    assert winner is high
+    # the remaining NORMAL waiter keeps no boost on a HIGH holder...
+    assert high.effective_priority == Priority.HIGH
+    next_winner = m.release(high, "bus", 80)
+    # ...and the last holder needs none at all
+    assert next_winner is mid
+    assert mid.effective_priority == Priority.NORMAL
+
+
+def test_release_restores_base_priority():
+    m = manager("inherit")
+    low = FakeJob(0, Priority.LOW)
+    high = FakeJob(1, Priority.HIGH)
+    m.acquire(low, "bus", 0)
+    m.acquire(high, "bus", 10)
+    assert low.effective_priority == Priority.HIGH
+    m.release(low, "bus", 50)
+    assert low.effective_priority == Priority.LOW
+
+
+def test_ceiling_boosts_on_acquire_before_any_contention():
+    m = manager("ceiling", ceilings={"bus": Priority.HIGH})
+    boosted = []
+    m.on_boost = boosted.append
+    low = FakeJob(0, Priority.LOW)
+    assert m.acquire(low, "bus", 0)
+    assert low.effective_priority == Priority.HIGH  # inversion never begins
+    assert boosted == [low]
+    m.release(low, "bus", 10)
+    assert low.effective_priority == Priority.LOW
+
+
+def test_ceiling_without_entry_leaves_priority_alone():
+    m = manager("ceiling", ceilings={})
+    low = FakeJob(0, Priority.LOW)
+    m.acquire(low, "bus", 0)
+    assert low.effective_priority == Priority.LOW
+
+
+def test_wait_accounting_and_inversion_threshold():
+    m = manager("none", threshold=100)
+    holder = FakeJob(0, Priority.LOW)
+    a = FakeJob(1, Priority.HIGH)
+    b = FakeJob(2, Priority.HIGH)
+    m.acquire(holder, "bus", 0)
+    m.acquire(a, "bus", 10)
+    m.acquire(b, "bus", 20)
+    m.release(holder, "bus", 60)   # a waited 50 (below threshold)
+    m.release(a, "bus", 400)       # b waited 380 (inversion)
+    assert m.stats.blocked == 2
+    assert m.stats.blocked_ns == 50 + 380
+    assert m.stats.max_blocked_ns == 380
+    assert m.stats.inversions == 1
+
+
+def test_release_of_unheld_resource_raises():
+    m = manager()
+    outsider = FakeJob(7, Priority.NORMAL)
+    with pytest.raises(RuntimeError):
+        m.release(outsider, "bus", 0)
+    m.acquire(FakeJob(0, Priority.NORMAL), "bus", 0)
+    with pytest.raises(RuntimeError):
+        m.release(outsider, "bus", 10)
+
+
+def test_unknown_protocol_and_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        ResourceManager(("bus",), protocol="magic")
+    with pytest.raises(ValueError):
+        ResourceManager(("bus",), inversion_threshold_ns=-1)
+    assert PROTOCOLS == ("none", "inherit", "ceiling")

@@ -1,0 +1,127 @@
+"""Tests for RM priority assignment and the job-level EDF scheduler."""
+
+import pytest
+
+from repro.rt.model import PeriodicTaskSpec, SporadicTaskSpec, TaskSet
+from repro.rt.scheduler import EdfScheduler, RtTag, rate_monotonic_priorities
+from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.runtime.task import Priority
+from repro.runtime.work import FixedWork
+from repro.schedulers import SCHEDULERS, make_scheduler
+
+
+def periodic(name, period):
+    return PeriodicTaskSpec(
+        name=name, wcet_ns=period // 10, relative_deadline_ns=period,
+        period_ns=period,
+    )
+
+
+# -- rate-monotonic assignment ---------------------------------------------------
+
+
+def test_rm_ranks_shortest_period_high_longest_low():
+    ts = TaskSet(
+        tasks=(periodic("slow", 9_000), periodic("fast", 1_000),
+               periodic("mid", 3_000))
+    )
+    prio = rate_monotonic_priorities(ts)
+    assert prio == {
+        "fast": Priority.HIGH, "mid": Priority.NORMAL, "slow": Priority.LOW,
+    }
+
+
+def test_rm_uses_min_interarrival_for_sporadic_tasks():
+    ts = TaskSet(
+        tasks=(
+            SporadicTaskSpec(
+                name="urgent", wcet_ns=100, relative_deadline_ns=2_000,
+                min_separation_ns=2_000,
+            ),
+            periodic("bulk", 50_000),
+        )
+    )
+    prio = rate_monotonic_priorities(ts)
+    assert prio["urgent"] == Priority.HIGH
+    assert prio["bulk"] == Priority.LOW
+
+
+def test_rm_single_rate_set_stays_all_normal():
+    ts = TaskSet(tasks=(periodic("a", 4_000), periodic("b", 4_000)))
+    assert set(rate_monotonic_priorities(ts).values()) == {Priority.NORMAL}
+
+
+# -- the EDF scheduler ------------------------------------------------------------
+
+
+def test_edf_registered_in_the_scheduler_registry():
+    assert "rt-edf" in SCHEDULERS
+    policy = make_scheduler("rt-edf")
+    assert isinstance(policy, EdfScheduler)
+    assert policy.name == "rt-edf"
+
+
+def run_tagged(deadlines, *, num_cores=1):
+    """Spawn one task per (bucket, deadline) pair; returns completion order."""
+    rt = Runtime(RuntimeConfig(num_cores=num_cores, scheduler=EdfScheduler()))
+    order = []
+    for key, deadline in deadlines:
+        rt.async_(
+            lambda key=key: order.append(key),
+            work=FixedWork(1_000),
+            name=f"job:{key}",
+            qos=RtTag(absolute_deadline_ns=deadline, bucket_key=key),
+        )
+    rt.run()
+    return order
+
+
+def test_edf_serves_earliest_absolute_deadline_first():
+    order = run_tagged(
+        [("late", 90_000), ("soon", 10_000), ("mid", 50_000)]
+    )
+    assert order == ["soon", "mid", "late"]
+
+
+def test_edf_ties_break_on_bucket_arrival_order():
+    order = run_tagged([("b", 5_000), ("a", 5_000)])
+    assert order == ["b", "a"]  # first-enqueued bucket wins the tie
+
+
+def test_edf_within_bucket_fifo_is_deadline_order():
+    order = run_tagged(
+        [("t", 10_000), ("t", 20_000), ("u", 15_000), ("t", 30_000)]
+    )
+    assert order == ["t", "u", "t", "t"]
+
+
+def test_untagged_tasks_share_the_default_bucket_and_still_run():
+    rt = Runtime(RuntimeConfig(num_cores=2, scheduler=EdfScheduler()))
+    ran = []
+    rt.async_(lambda: ran.append("plain"), work=FixedWork(500))
+    rt.async_(
+        lambda: ran.append("urgent"),
+        work=FixedWork(500),
+        qos=RtTag(absolute_deadline_ns=1_000, bucket_key="rt"),
+    )
+    result = rt.run()
+    assert sorted(ran) == ["plain", "urgent"]
+    assert result.tasks_executed == 2
+
+
+def test_edf_run_is_deterministic():
+    jobs = [("a", 40_000), ("b", 10_000), ("a", 20_000), ("c", 15_000)]
+    first = run_tagged(jobs, num_cores=2)
+    second = run_tagged(jobs, num_cores=2)
+    assert first == second
+
+
+def test_edf_root_penalty_scales_with_active_workers():
+    policy = EdfScheduler()
+    assert policy.shared_structure_penalty_ns(1) == 0
+    assert policy.shared_structure_penalty_ns(4) == 3 * 12
+
+
+def test_edf_rejects_negative_default_latency():
+    with pytest.raises(ValueError):
+        EdfScheduler(default_latency_ns=-1)
