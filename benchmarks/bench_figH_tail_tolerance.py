@@ -1,0 +1,16 @@
+"""figH: tail tolerance — grain size × straggler severity.
+
+See the module docstring of ``repro.experiments.figH_tail_tolerance`` for
+the claims (the unprotected best grain coarsening monotonically with
+straggler severity, the hedged/speculating leg holding p99 within 2x
+fault-free and restoring the fault-free optimum, speculation staying
+within budget, everything gray — never a crash declaration — and
+bit-reproducible) the shape checks enforce.
+"""
+
+from _support import run_figure_benchmark
+from repro.experiments import figH_tail_tolerance
+
+
+def test_figH_reproduction(benchmark, bench_scale):
+    run_figure_benchmark(benchmark, figH_tail_tolerance, bench_scale)

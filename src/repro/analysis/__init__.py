@@ -2,7 +2,7 @@
 
 Three layers over one :class:`~repro.analysis.findings.Finding` currency:
 
-1. **Static lint** (:mod:`repro.analysis.lint`) — AST rules TG101–TG107
+1. **Static lint** (:mod:`repro.analysis.lint`) — AST rules TG101–TG108
    over workload scripts: blocking gets inside task bodies, lost dependency
    edges, unsynchronized closure captures, per-element spawning, and
    never-fulfilled futures.  CLI: ``python -m repro.analysis <paths>``.

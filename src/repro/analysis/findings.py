@@ -85,6 +85,13 @@ RULES: dict[str, Rule] = {
             "— unbounded priority inversion; declare the resource with a "
             "critical section (repro.rt) so a protocol bounds the blocking",
         ),
+        Rule(
+            "TG108", "swallowed-fault", Severity.WARNING,
+            "task body catches bare Exception (or everything) without "
+            "re-raising — the typed fault hierarchy (ParcelLostError, "
+            "TaskShedError, FencedEpochError, ...) is swallowed and the "
+            "failure never reaches the consumer or the recovery layer",
+        ),
         # -- graph analysis ---------------------------------------------------
         Rule(
             "GA201", "dependency-cycle", Severity.ERROR,
@@ -158,6 +165,13 @@ RULES: dict[str, Rule] = {
             "the deadline ledger does not balance: released != on-time + "
             "missed for some RT task, blocked time recorded without any "
             "contended acquire, or the miss set differs between reruns",
+        ),
+        Rule(
+            "PF410", "speculation-conservation", Severity.ERROR,
+            "the first-wins ledger does not balance: speculations != wins + "
+            "called-off, originals cancelled without a winning clone, hedge "
+            "copies unaccounted, or work amplification exceeds the "
+            "speculation budget",
         ),
     ]
 }

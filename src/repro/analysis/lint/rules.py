@@ -1,4 +1,4 @@
-"""The lint rules (TG101–TG107) over a parsed workload module.
+"""The lint rules (TG101–TG108) over a parsed workload module.
 
 Each rule is a function ``(ctx) -> list[Finding]`` over a shared
 :class:`LintContext`; the driver in ``lint/__init__`` runs them all and
@@ -504,6 +504,98 @@ def check_adhoc_lock_in_task(ctx: LintContext) -> list[Finding]:
     return findings
 
 
+# -- TG108: task body swallows the typed fault hierarchy ---------------------------
+
+#: catch targets broad enough to swallow every typed runtime fault
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    """Does this handler catch everything (bare) or ``Exception``-wide?"""
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in types:
+        while isinstance(expr, ast.Attribute):
+            expr = expr.value  # builtins.Exception and the like
+        if isinstance(expr, ast.Name) and expr.id in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does any path through the handler re-raise?
+
+    A ``raise`` nested in a function defined inside the handler does not
+    count — defining a closure is not raising.
+    """
+
+    def walk(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield child
+            yield from walk(child)
+
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.Raise) or any(
+            isinstance(n, ast.Raise) for n in walk(stmt)
+        ):
+            return True
+    return False
+
+
+def check_swallowed_fault(ctx: LintContext) -> list[Finding]:
+    """Task bodies must not blanket-catch: the runtime's typed failures
+    (ParcelLostError, TaskShedError, FencedEpochError, ...) propagate
+    through the task's future to its consumer and to the recovery layer —
+    a broad ``except`` that does not re-raise eats them, so the consumer
+    sees a normal value and recovery never learns the task failed.
+    Driver code (anything outside a spawned body) is exempt: catching at
+    the top level is exactly where broad handlers belong."""
+    findings: list[Finding] = []
+    seen: set[tuple[int, int]] = set()
+    for site in ctx.sites:
+        scope = ctx.body_scope(site)
+        if scope is None:
+            continue
+        for node, _wd in _body_nodes(scope):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _catches_broadly(node) or _reraises(node):
+                continue
+            line, col = _loc(node)
+            if (line, col) in seen:
+                continue
+            seen.add((line, col))
+            what = (
+                "everything (bare except)"
+                if node.type is None
+                else f"{ast.unparse(node.type)}"
+            )
+            findings.append(
+                Finding(
+                    "TG108",
+                    f"task body catches {what} without re-raising — the "
+                    "typed fault hierarchy (ParcelLostError, TaskShedError, "
+                    "FencedEpochError, ...) is swallowed here, so the "
+                    "consumer sees a normal result and recovery never "
+                    "learns the task failed; catch the specific exception "
+                    "you can handle, or re-raise",
+                    ctx.filename, line, col,
+                )
+            )
+    return findings
+
+
 ALL_RULES = [
     check_blocking_get,
     check_lost_future,
@@ -512,4 +604,5 @@ ALL_RULES = [
     check_unfulfilled_future,
     check_nondeterministic_source,
     check_adhoc_lock_in_task,
+    check_swallowed_fault,
 ]

@@ -50,7 +50,9 @@ from repro.faults import (
     UnrecoverableCrashError,
     WatchdogTimeout,
 )
+from repro.faults.errors import FencedEpochError
 from repro.recovery import RecoveryConfig
+from repro.tail import TailConfig
 
 __all__ = [
     "AgasCache",
@@ -77,4 +79,6 @@ __all__ = [
     "UnrecoverableCrashError",
     "WatchdogTimeout",
     "RecoveryConfig",
+    "FencedEpochError",
+    "TailConfig",
 ]

@@ -103,6 +103,7 @@ from repro.counters.registry import CounterRegistry
 from repro.dist.network import NetworkModel
 from repro.faults.plan import FaultInjector, stream_unit
 from repro.faults.transport import RetryParams
+from repro.faults.errors import FencedEpochError
 from repro.overload.breaker import BreakerParams, BreakerState, CircuitBreaker
 from repro.overload.config import CreditParams
 from repro.overload.errors import CircuitOpenError
@@ -135,6 +136,9 @@ class Parcel:
     delivered_ns: int | None = None
     #: True when the payload is an exception being propagated, not a value
     is_error: bool = field(default=False, kw_only=True)
+    #: the sender's fencing epoch at send time (repro.tail); receivers
+    #: reject copies whose epoch predates the sender's current one
+    epoch: int = field(default=0, kw_only=True)
 
     @property
     def in_flight_ns(self) -> int:
@@ -193,6 +197,13 @@ class Parcelport:
         self._peers: dict[int, "Parcelport"] = {locality: self}
         self._outgoing_in_flight = 0
         self._halted = False
+        #: tail-tolerance manager (repro.tail), attached by the DistRuntime
+        #: after construction; None leaves every send path untouched
+        self._tail = None
+        #: parcel_id -> armed hedge timer (first unacked copy only)
+        self._hedge_timers: dict[int, Event] = {}
+        #: parcel_id -> first wire-dispatch time, for ack-RTT sketches
+        self._sent_at: dict[int, int] = {}
         #: (source, parcel_id) of every parcel delivered here (dedup)
         self._delivered: set[tuple[int, int]] = set()
         #: parcel_id -> (timeout event, parcel, attempt) awaiting an ack
@@ -316,6 +327,19 @@ class Parcelport:
         """Wire this port to its peers (DistRuntime calls this once)."""
         self._peers = dict(ports)
 
+    def attach_tail(self, tail) -> None:
+        """Enable the tail-tolerance hooks (hedging, fencing, RTT sketches).
+
+        Called by the DistRuntime when ``DistConfig.tail`` is set; requires
+        the retry protocol — hedging rides the ack/dedup ledger.
+        """
+        if self._retry is None:
+            raise ValueError(
+                "tail tolerance requires RetryParams: hedge copies are "
+                "deduplicated and settled by the ack protocol"
+            )
+        self._tail = tail
+
     # -- sending ------------------------------------------------------------
 
     def send(
@@ -350,6 +374,18 @@ class Parcelport:
             raise KeyError(
                 f"locality {self.locality} has no route to {destination}"
             )
+        tail = self._tail
+        if tail is not None and tail.is_fenced(self.locality):
+            # A declared locality that "came back" must not commit stale
+            # results: rejected before any counter is booked, like a
+            # breaker fast-failure.
+            current = tail.epoch_of(self.locality)
+            raise FencedEpochError(
+                self.locality,
+                current - 1,
+                current,
+                detail=f"send to locality {destination} rejected",
+            )
         params = self._breaker_params
         if params is not None and params.fail_fast:
             br = self._breakers.get(destination)
@@ -377,6 +413,7 @@ class Parcelport:
             ready_ns=now,
             departed_ns=now + resolve_ns + serialize_ns,
             is_error=is_error,
+            epoch=tail.epoch_of(self.locality) if tail is not None else 0,
         )
         self._c_sent.increment()
         self._c_bytes_sent.increment(parcel.wire_bytes)
@@ -593,6 +630,16 @@ class Parcelport:
                 self._unacked_count[dest] = count
                 if count > self._unacked_hwm.get(dest, 0):
                     self._unacked_hwm[dest] = count
+            tail = self._tail
+            if tail is not None and attempt == 0:
+                self._sent_at[parcel.parcel_id] = self.sim.now
+                delay = tail.hedge_delay_ns(self.locality, peer.locality)
+                if delay is not None:
+                    self._hedge_timers[parcel.parcel_id] = self.sim.schedule(
+                        head_delay_ns + delay,
+                        lambda: self._hedge(peer, parcel, on_delivered),
+                    )
+                    tail.note_hedge_armed(self.locality)
 
     def _jitter_ns(self, parcel_id: int, attempt: int) -> int:
         assert self._retry is not None
@@ -603,6 +650,59 @@ class Parcelport:
             stream_unit(self._seed, _ROLE_JITTER, parcel_id, attempt)
             * (cap + 1)
         )
+
+    # -- hedged parcels (repro.tail) ----------------------------------------
+
+    def _hedge(self, peer: "Parcelport", parcel: Parcel,
+               on_delivered: DeliveryFn) -> None:
+        """The hedging delay elapsed with no ack: send an insurance copy.
+
+        Booked exactly like an injected duplicate — an extra wire copy,
+        counted ``retransmitted``, deduplicated at the receiver — so PF401
+        conservation holds unchanged.  The copy is not subject to injected
+        drops: it models an independent alternate path, and sampling the
+        drop stream again would perturb the fates of unrelated parcels.
+        First delivery wins; the loser is discarded by the (source, id)
+        dedup ledger and its ack settles the same retry timer.
+        """
+        self._hedge_timers.pop(parcel.parcel_id, None)
+        if self._halted or parcel.parcel_id not in self._awaiting:
+            return
+        tail = self._tail
+        tail.note_hedge_sent(self.locality)
+        self._c_retransmitted.increment()
+        self._outgoing_in_flight += 1
+        transfer_ns = self._transfer_ns(peer.locality, parcel.payload_bytes)
+        self.sim.schedule(
+            transfer_ns,
+            lambda: self._hedge_arrive(peer, parcel, on_delivered),
+        )
+
+    def _discard_hedge_state(self, parcel_id: int) -> None:
+        """Settle hedge bookkeeping for a parcel leaving the retry protocol.
+
+        An armed-but-unfired timer is cancelled and counted so the
+        ``armed == sent + cancelled`` ledger stays exact whether the parcel
+        was acked, declared lost, abandoned, or its sender halted.
+        """
+        timer = self._hedge_timers.pop(parcel_id, None)
+        if timer is not None:
+            timer.cancel()
+            if self._tail is not None:
+                self._tail.note_hedge_cancelled(self.locality)
+        self._sent_at.pop(parcel_id, None)
+
+    def _hedge_arrive(self, peer: "Parcelport", parcel: Parcel,
+                      on_delivered: DeliveryFn) -> None:
+        """Deliver the hedge copy, settling the won/lost ledger."""
+        key = (parcel.source, parcel.parcel_id)
+        fresh = key not in peer._delivered
+        self._arrive(peer, parcel, on_delivered)
+        if fresh and key in peer._delivered:
+            self._tail.note_hedge_won(self.locality)
+        else:
+            # Beaten by the original (deduplicated), or the peer died.
+            self._tail.note_hedge_lost(self.locality)
 
     # -- the wire's three outcomes ------------------------------------------
 
@@ -628,6 +728,15 @@ class Parcelport:
             self._c_dropped.increment()
             if self._retry is None:
                 self._dead_letter(parcel)
+            return
+        tail = self._tail
+        if tail is not None and tail.is_stale(parcel.source, parcel.epoch):
+            # Partition fence: the sender was declared dead after this copy
+            # departed; committing it would resurrect a superseded epoch.
+            # Booked as a drop on the sending side (the same fate as a copy
+            # arriving at a crashed peer), so conservation stays exact.
+            self._c_dropped.increment()
+            tail.note_fenced_rejection(parcel.source)
             return
         key = (parcel.source, parcel.parcel_id)
         if key in peer._delivered:
@@ -660,6 +769,18 @@ class Parcelport:
         entry = self._awaiting.pop(parcel_id, None)
         if entry is not None:
             entry[0].cancel()
+            tail = self._tail
+            if tail is not None:
+                timer = self._hedge_timers.pop(parcel_id, None)
+                if timer is not None:
+                    timer.cancel()
+                    tail.note_hedge_cancelled(self.locality)
+                sent = self._sent_at.pop(parcel_id, None)
+                if sent is not None:
+                    tail.note_ack_rtt(
+                        self.locality, entry[1].destination,
+                        self.sim.now - sent,
+                    )
             destination = self._release_unacked(parcel_id)
             if destination is not None:
                 br = self._breakers.get(destination)
@@ -693,6 +814,7 @@ class Parcelport:
             br.record_failure()
         if attempt >= self._retry.max_retries:
             attempts = attempt + 1
+            self._discard_hedge_state(parcel.parcel_id)
             destination = self._release_unacked(parcel.parcel_id)
             if on_lost is not None:
                 on_lost(parcel, attempts)
@@ -729,6 +851,9 @@ class Parcelport:
         for event, _parcel, _attempt in self._awaiting.values():
             event.cancel()
         self._awaiting.clear()
+        for pid in list(self._hedge_timers):
+            self._discard_hedge_state(pid)
+        self._sent_at.clear()
         for br in self._breakers.values():
             br.halt()
         self._waiting.clear()
@@ -758,6 +883,7 @@ class Parcelport:
         for pid in stale:
             event, _parcel, _attempt = self._awaiting.pop(pid)
             event.cancel()
+            self._discard_hedge_state(pid)
             self._release_unacked(pid)
             abandoned += 1
         lane = self._waiting.pop(destination, None)

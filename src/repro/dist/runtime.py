@@ -56,6 +56,8 @@ from repro.runtime.work import WorkDescriptor
 from repro.schedulers.base import SchedulingPolicy
 from repro.sim.engine import Simulator
 from repro.sim.platforms import PlatformSpec, get_platform
+from repro.tail.config import TailConfig
+from repro.tail.manager import TailManager
 
 
 @dataclass(frozen=True)
@@ -120,6 +122,14 @@ class DistConfig:
     #: Orthogonal to ``recovery=`` above, which re-executes a *producer*
     #: after parcel loss on an otherwise healthy locality.
     crash_recovery: RecoveryConfig | None = None
+    #: opt-in gray-failure tolerance (:mod:`repro.tail`): quantile-based
+    #: degraded detection, hedged parcels, speculative re-execution of a
+    #: degraded locality's tasks, and epoch fencing of declared localities.
+    #: ``None`` (the default) is bit-identical to pre-tail behaviour.
+    #: Layered on top of ``crash_recovery`` (the detector reads its
+    #: heartbeats and speculation replays its lineage) and ``retry`` (acks
+    #: are what hedge timers race against), so both are required.
+    tail: TailConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_localities < 1:
@@ -154,6 +164,18 @@ class DistConfig:
             raise ValueError(
                 "crash_recovery needs at least 2 localities: a lone "
                 "locality has no survivor to replicate checkpoints onto"
+            )
+        if self.tail is not None and self.crash_recovery is None:
+            raise ValueError(
+                "tail tolerance rides the crash-recovery layer: pass "
+                "crash_recovery=RecoveryConfig(...) — its heartbeats feed "
+                "the gray detector and its lineage feeds speculation"
+            )
+        if self.tail is not None and self.retry is None:
+            raise ValueError(
+                "tail tolerance requires the reliable transport: pass "
+                "retry=RetryParams(...) — hedge timers race against acks "
+                "and hedge copies are settled by the dedup ledger"
             )
         if (
             self.overload is not None
@@ -282,6 +304,33 @@ class DistRunResult:
     #: (checkpoint writes, redundant re-executions) subtracted out; on a
     #: recovered run this equals the crash-free run's task count
     app_tasks_completed: int = 0
+    #: -- tail-tolerance accounting (all zero with tail=None) ----------------
+    #: localities the gray detector currently flags degraded (end of run)
+    localities_degraded: int = 0
+    #: healthy -> degraded transitions observed over the whole run
+    degraded_events: int = 0
+    #: hedge timers armed on unacked sends
+    hedges_armed: int = 0
+    #: hedge copies actually put on the wire (timer fired before the ack)
+    hedges_sent: int = 0
+    #: hedge copies that delivered first (the original was still in flight)
+    hedges_won: int = 0
+    #: hedge copies beaten by the original and deduplicated on arrival
+    hedges_lost: int = 0
+    #: hedge timers cancelled by an ack (or teardown) before firing
+    hedges_cancelled: int = 0
+    #: tasks of a degraded locality cloned onto a healthy survivor
+    tasks_speculated: int = 0
+    #: clones that completed before their original (first-completion-wins)
+    speculation_wins: int = 0
+    #: clones called off: the original won, or the clone itself failed
+    speculations_cancelled: int = 0
+    #: original tasks successfully cancelled after their clone won
+    originals_cancelled: int = 0
+    #: speculation budget at end of run (``max_speculation_frac`` applied)
+    speculation_budget: int = 0
+    #: stale-epoch parcels from fenced localities rejected on arrival
+    fenced_rejections: int = 0
 
     def assert_parcels_conserved(self) -> None:
         """Every wire copy must meet exactly one fate.
@@ -469,6 +518,13 @@ class DistRuntime:
             self.recovery_manager = RecoveryManager(
                 self, config.crash_recovery
             )
+        #: the gray-failure tolerance layer; None (the default) installs no
+        #: spawn hooks, no sketches and no hedge timers — bit-identical off
+        self.tail_manager: TailManager | None = None
+        if config.tail is not None:
+            self.tail_manager = TailManager(self, config.tail)
+            for loc in self.localities:
+                loc.parcelport.attach_tail(self.tail_manager)
         self._ran = False
         self._result: DistRunResult | None = None
 
@@ -929,6 +985,8 @@ class DistRuntime:
             # recovery state instead of declaring dependency cones doomed:
             # a cone behind a declared crash is being re-executed, not dead.
             parts.extend(self.recovery_manager.diagnose())
+            if self.tail_manager is not None:
+                parts.extend(self.tail_manager.diagnose())
             return "; ".join(parts)
         # Name the dependency cones that died with a crashed locality: a
         # pending proxy whose transitive producer crashed can never become
@@ -974,6 +1032,8 @@ class DistRuntime:
             loc.runtime.executor.start_workers()
         if self.recovery_manager is not None:
             self.recovery_manager.start()
+        if self.tail_manager is not None:
+            self.tail_manager.start()
         if watchdog_ns is not None:
             self.simulator.run_until(watchdog_ns)
             unfinished = self.simulator.pending_events() > 0 or any(
@@ -1040,6 +1100,7 @@ class DistRuntime:
             return int(reg.total(f"/parcels{{locality#*/total}}/{tail}"))
 
         mgr = self.recovery_manager
+        tail = self.tail_manager
         if mgr is not None:
             completed = sum(
                 loc.runtime.executor.tasks_completed
@@ -1129,6 +1190,19 @@ class DistRuntime:
             reexecution_ns=mgr.reexecution_ns if mgr else 0,
             recovery_total_ns=mgr.recovery_total_ns if mgr else 0,
             app_tasks_completed=app_tasks_completed,
+            localities_degraded=tail.localities_degraded if tail else 0,
+            degraded_events=tail.degraded_events if tail else 0,
+            hedges_armed=tail.hedges_armed if tail else 0,
+            hedges_sent=tail.hedges_sent if tail else 0,
+            hedges_won=tail.hedges_won if tail else 0,
+            hedges_lost=tail.hedges_lost if tail else 0,
+            hedges_cancelled=tail.hedges_cancelled if tail else 0,
+            tasks_speculated=tail.tasks_speculated if tail else 0,
+            speculation_wins=tail.speculation_wins if tail else 0,
+            speculations_cancelled=tail.speculations_cancelled if tail else 0,
+            originals_cancelled=tail.originals_cancelled if tail else 0,
+            speculation_budget=tail.speculation_budget if tail else 0,
+            fenced_rejections=tail.fenced_rejections if tail else 0,
         )
         self._result = result
         return result

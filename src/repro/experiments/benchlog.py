@@ -46,6 +46,7 @@ __all__ = [
     "git_revision",
     "main",
     "record",
+    "registered_experiments",
     "reset",
     "write",
 ]
@@ -86,34 +87,74 @@ def reset() -> None:
     RECORDS.clear()
 
 
-def git_revision(cwd: str | Path | None = None) -> str:
-    """The short git revision, or ``"unknown"`` outside a checkout."""
+def _git(args: list[str], cwd: str | Path | None) -> str | None:
     try:
         out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
+            ["git", *args],
             cwd=cwd,
             capture_output=True,
             text=True,
             timeout=10,
         )
     except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout if out.returncode == 0 else None
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The short revision of HEAD *right now*, or ``"unknown"``.
+
+    Stamped at emission time — not import time — so a long benchmark
+    session that straddles a commit is attributed to the revision the
+    log was written under.  A working tree with uncommitted changes
+    gets a ``-dirty`` suffix: a trail measured against unreviewed edits
+    must never be mistaken for the commit's own baseline.
+    """
+    rev = (_git(["rev-parse", "--short", "HEAD"], cwd) or "").strip()
+    if not rev:
         return "unknown"
-    rev = out.stdout.strip()
-    return rev if out.returncode == 0 and rev else "unknown"
+    status = _git(["status", "--porcelain"], cwd)
+    if status is None or status.strip():
+        return f"{rev}-dirty"
+    return rev
+
+
+def registered_experiments() -> list[str]:
+    """Every experiment ``make bench`` is expected to cover — the CLI
+    registry's names, which the benchmark files record under (their
+    ``FIGURE_ID``s match the registry keys one for one)."""
+    from repro.experiments.cli import EXPERIMENT_MODULES
+
+    return sorted(EXPERIMENT_MODULES)
 
 
 def write(
-    directory: str | Path = ".", revision: str | None = None
+    directory: str | Path = ".",
+    revision: str | None = None,
+    registered: list[str] | None = None,
 ) -> Path | None:
     """Write ``BENCH_<rev>.json`` into ``directory``; ``None`` when the
-    session recorded nothing (e.g. ``-k`` deselected every benchmark)."""
+    session recorded nothing (e.g. ``-k`` deselected every benchmark).
+
+    Besides the per-run records, the payload pins *coverage*: the sorted
+    set of experiments that actually ran, plus every registered
+    experiment the session missed — so a figure added to the CLI without
+    a benchmark shows up as a named hole in the trail, not a silent gap
+    in a diff.
+    """
     if not RECORDS:
         return None
     rev = revision if revision is not None else git_revision(directory)
+    expected = (
+        registered_experiments() if registered is None else sorted(registered)
+    )
+    ran = sorted({r.experiment for r in RECORDS})
     path = Path(directory) / f"BENCH_{rev}.json"
     payload = {
         "revision": rev,
         "records": [asdict(r) for r in sorted(RECORDS, key=lambda r: r.experiment)],
+        "experiments": ran,
+        "missing": [name for name in expected if name not in set(ran)],
         "total_wall_s": round(sum(r.wall_s for r in RECORDS), 4),
         "total_tasks": sum(r.tasks for r in RECORDS),
     }

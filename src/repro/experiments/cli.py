@@ -40,6 +40,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "figO": "repro.experiments.figO_overload",
     "figQ": "repro.experiments.figQ_qos_isolation",
     "figE": "repro.experiments.figE_rt_deadline",
+    "figH": "repro.experiments.figH_tail_tolerance",
     "selection": "repro.experiments.selection_experiment",
     "tuner": "repro.experiments.tuner_experiment",
     "ablation": "repro.experiments.ablations",

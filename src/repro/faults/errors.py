@@ -82,6 +82,33 @@ class UnrecoverableCrashError(FaultError):
         super().__init__(message)
 
 
+class FencedEpochError(FaultError):
+    """A fenced locality tried to commit work from a superseded epoch.
+
+    Partition fencing (:mod:`repro.tail`) bumps a locality's epoch the
+    instant the crash quorum declares it dead.  A declared locality that
+    "comes back" — the asymmetric-partition / split-brain window in which
+    the gray detector still hears it — must not commit stale results:
+    sends from it raise this error, and its in-flight parcels stamped with
+    the old epoch are rejected on arrival.  The message names the fenced
+    locality and both epochs, which is what a split-brain postmortem needs.
+    """
+
+    def __init__(
+        self, locality: int, epoch: int, current_epoch: int, *, detail: str = ""
+    ) -> None:
+        self.locality = locality
+        self.epoch = epoch
+        self.current_epoch = current_epoch
+        message = (
+            f"locality {locality} is fenced: epoch {epoch} was superseded by "
+            f"epoch {current_epoch} when the crash quorum declared it dead"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class WatchdogTimeout(FaultError):
     """The watchdog deadline passed with the system still not finished.
 

@@ -37,8 +37,9 @@ _ROLE_JITTER = 0x33
 #: heartbeat emission jitter of the crash-recovery failure detector
 #: (repro.recovery); registered here so the role-tag space stays collision-
 #: free as components add streams (0x44 breaker probe, 0x7B-0x7E taskbench/
-#: verify generators, 0x80-0x84 verify harness incl. the RT leg,
-#: 0x90-0x92 qos arrivals, 0xA0-0xA2 rt release/gap/exec draws)
+#: verify generators, 0x80-0x85 verify harness incl. the RT and tail legs,
+#: 0x90-0x92 qos arrivals, 0xA0-0xA2 rt release/gap/exec draws,
+#: 0xB0-0xB2 reserved for repro.tail)
 ROLE_HEARTBEAT = 0x55
 
 

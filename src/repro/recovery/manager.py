@@ -373,6 +373,14 @@ class RecoveryManager:
             return
         now = self.sim.now
         gap = now - self._last_seen[monitor][peer]
+        tail = self.dist.tail_manager
+        if tail is not None:
+            # The gray detector reads the same heartbeat stream the crash
+            # quorum does, but only ever *observes* it: no suspicion state
+            # is touched, so "stragglers are not dead" is preserved.
+            tail.note_heartbeat_gap(
+                monitor, peer, gap, self.config.heartbeat_interval_ns
+            )
         self._last_seen[monitor][peer] = now
         if gap > self._max_gap[monitor][peer]:
             self._max_gap[monitor][peer] = gap
@@ -525,6 +533,11 @@ class RecoveryManager:
             # Fencing: a declared locality must be fail-stopped even if it
             # was merely wedged — survivors are about to take its work.
             dist._crash(loc)
+        if dist.tail_manager is not None:
+            # Epoch fencing: bump p's epoch so parcels it already has in
+            # flight (stamped with the old epoch) are rejected on arrival
+            # instead of committing stale results after the takeover.
+            dist.tail_manager.note_declared(p)
         crashed_ns = (
             crash_at if crash_at is not None and crash_at <= now else now
         )

@@ -19,8 +19,21 @@ Layers (bottom up):
   the job-level EDF policy (registry name ``rt-edf``).
 - :mod:`repro.rt.service` — open-loop job release, chunk chaining,
   deadline tracking, the ``/rt...`` counter surface.
+- :mod:`repro.rt.analysis` — the response-time schedulability oracle
+  (:func:`rta`): the classical fixed-priority recurrence with
+  per-protocol blocking terms and the runtime's per-chunk overhead
+  priced into demand, cross-checked against measured miss sets.
 """
 
+from repro.rt.analysis import (
+    INFEASIBLE,
+    SCHEDULABLE,
+    UNKNOWN,
+    RtaResult,
+    TaskRta,
+    response_time,
+    rta,
+)
 from repro.rt.model import (
     PeriodicTaskSpec,
     RtTaskSpec,
@@ -39,6 +52,13 @@ from repro.rt.service import (
 )
 
 __all__ = [
+    "INFEASIBLE",
+    "SCHEDULABLE",
+    "UNKNOWN",
+    "RtaResult",
+    "TaskRta",
+    "response_time",
+    "rta",
     "PeriodicTaskSpec",
     "SporadicTaskSpec",
     "RtTaskSpec",

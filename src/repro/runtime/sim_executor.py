@@ -138,6 +138,14 @@ class SimExecutor:
         self._started = False
         #: admission controller, installed by :meth:`install_admission`
         self.admission: "AdmissionControl | None" = None
+        #: observer called with every spawned task (after staging); the tail
+        #: layer uses it to map futures to tasks for loser cancellation
+        self.on_spawn = None
+        #: completion events of active phases, keyed by task id, so an
+        #: active task can be cancelled before its phase elapses
+        self._inflight: dict[int, tuple[Event, _SimWorker]] = {}
+        #: tasks retired by :meth:`cancel_task` (not counted as completed)
+        self.cancelled_tasks = 0
         self._register_counters()
 
     # -- counters ---------------------------------------------------------------
@@ -254,12 +262,17 @@ class SimExecutor:
                 )
             )
         self.policy.enqueue_staged(task, worker)
+        if self.on_spawn is not None:
+            self.on_spawn(task)
         self._wake_idle_workers()
         self._maybe_restart_workers()
 
     def _requeue_resumed(self, task: Task, worker: int) -> None:
         """Suspended → pending (the thread keeps its context)."""
         if self._halted:
+            return
+        if task.cancelled:
+            self._retire_cancelled(task)
             return
         task.set_state(TaskState.PENDING)
         self.policy.enqueue_pending(task, worker)
@@ -363,6 +376,12 @@ class SimExecutor:
     def _dispatch(self, worker: _SimWorker, found: FoundWork) -> None:
         """Charge management costs and start one phase of the task."""
         task = found.task
+        if task.cancelled:
+            # A queued loser of a speculative race: retire it the moment a
+            # worker pulls it, charging nothing — the clone already won.
+            self._retire_cancelled(task)
+            self._search(worker)
+            return
         source = found.source
         active = self._busy_count + 1
         costs = self.cost_model.task_costs(active)
@@ -398,12 +417,13 @@ class SimExecutor:
         worker.busy = True
         self._busy_count += 1
         dispatch_ns = self.sim.now
-        self.sim.schedule(
+        event = self.sim.schedule(
             mgmt_ns + duration_ns,
             lambda: self._complete_phase(
                 worker, task, mgmt_ns, duration_ns, dispatch_ns, source
             ),
         )
+        self._inflight[task.task_id] = (event, worker)
 
     def _phase_duration(self, task: Task, mgmt_ns: int = 0) -> int:
         """Virtual execution time of one phase, from the work descriptor."""
@@ -433,6 +453,7 @@ class SimExecutor:
         source: WorkSource = WorkSource.LOCAL_PENDING,
     ) -> None:
         """A phase's virtual time has elapsed; run its Python side-effects."""
+        self._inflight.pop(task.task_id, None)
         worker.busy = False
         self._busy_count -= 1
         if self._halted:
@@ -530,6 +551,50 @@ class SimExecutor:
         self._c_tasks.increment()
         self._c_avg.add_sample(task.exec_ns)
         self._c_avg_overhead.add_sample(task.overhead_ns)
+        if self._outstanding == 0:
+            self.finish_ns = self.sim.now
+            self._cancel_all_wakeups()
+
+    def cancel_task(self, task: Task) -> bool:
+        """Retire ``task`` without running (the rest of) its body.
+
+        The primitive behind speculative first-completion-wins: the losing
+        copy of a task pair is cancelled so exactly one execution counts.
+        A queued (staged/pending) or suspended task is flagged and retired
+        lazily when a worker next touches it; an active task has its
+        pending completion event cancelled and its worker freed right now,
+        the partial phase discarded.  Cancelled tasks never run callbacks,
+        never satisfy futures, and are excluded from the completed-task
+        counters (see :attr:`cancelled_tasks`).
+
+        Returns False — and does nothing — on a halted executor, a
+        terminated task, or a task already cancelled.
+        """
+        if self._halted or task.state is TaskState.TERMINATED or task.cancelled:
+            return False
+        if task is self._current_task:
+            return False  # mid-completion: it has effectively finished
+        task.cancelled = True
+        entry = self._inflight.pop(task.task_id, None)
+        if entry is None:
+            return True  # queued or suspended: retired at next touch
+        event, worker = entry
+        event.cancel()
+        worker.busy = False
+        self._busy_count -= 1
+        self._retire_cancelled(task)
+        self.sim.schedule_at(
+            self.sim.now, lambda: self._search(worker)
+        )
+        return True
+
+    def _retire_cancelled(self, task: Task) -> None:
+        # Cancellation is not an HPX-thread transition; the task is retired
+        # in place without an activation, so the state is assigned directly.
+        task.state = TaskState.TERMINATED
+        task.terminated_ns = self.sim.now
+        self._outstanding -= 1
+        self.cancelled_tasks += 1
         if self._outstanding == 0:
             self.finish_ns = self.sim.now
             self._cancel_all_wakeups()

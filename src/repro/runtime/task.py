@@ -113,6 +113,7 @@ class Task:
         "_generator",
         "result",
         "failure_hook",
+        "cancelled",
     )
 
     def __init__(
@@ -150,6 +151,10 @@ class Task:
         #: run (admission-control shedding); normally the paired future's
         #: ``set_exception``, so consumers observe a typed failure
         self.failure_hook: Callable[[BaseException], None] | None = None
+        #: set by ``SimExecutor.cancel_task`` (speculative first-wins lost):
+        #: the body never runs (again); the task retires without counting
+        #: as a completed HPX-thread
+        self.cancelled: bool = False
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,0 +1,19 @@
+"""Tail tolerance for gray failures: slow-but-alive localities and links.
+
+Public surface:
+
+- :class:`repro.tail.config.TailConfig` — every knob, frozen;
+- :class:`repro.tail.sketch.QuantileSketch` — bounded response-time window;
+- :class:`repro.tail.manager.TailManager` — detector + speculation + fencing,
+  one per :class:`repro.dist.DistRuntime` when ``DistConfig.tail`` is set.
+
+Hedged parcels live in :mod:`repro.dist.parcel` (the parcelport owns the
+retry ledger the hedge rides on); the typed fence error lives with the rest
+of the failure hierarchy in :mod:`repro.faults.errors`.
+"""
+
+from repro.tail.config import TailConfig
+from repro.tail.manager import TailManager
+from repro.tail.sketch import QuantileSketch
+
+__all__ = ["TailConfig", "TailManager", "QuantileSketch"]

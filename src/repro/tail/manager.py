@@ -1,0 +1,543 @@
+"""Gray-failure tolerance: degraded detection, speculation, fencing.
+
+``repro.tail`` is the layer that survives *slow-but-alive* — the failure
+class :mod:`repro.recovery` deliberately refuses to act on.  PR 8's quorum
+detector adapts its per-link thresholds so a ``Straggler``-slowed locality
+or a ``LinkDegradation``-delayed link is never declared dead; correct, but
+it means a 10x-slow node silently inflates the tail with no mitigation.
+One :class:`TailManager` per :class:`repro.dist.DistRuntime` (created only
+when ``DistConfig.tail`` is set — ``None`` leaves the runtime bit-identical
+to the pre-tail code) runs three machines on the shared virtual clock:
+
+**1. Quantile-based gray-failure detection.**  Every heartbeat arrival
+(:meth:`note_heartbeat_gap`, called from the recovery manager's receive
+path) records the observed gap as a ratio of the nominal period into a
+per-locality :class:`repro.tail.sketch.QuantileSketch`; every parcel ack
+(:meth:`note_ack_rtt`) records the round-trip into a per-link sketch.  A
+periodic sweep flags a locality ``degraded`` when the median gap ratio
+reaches ``degraded_factor`` — or when its *ongoing* silence does, which
+catches a severe straggler before ``min_samples`` slow heartbeats have
+even arrived.  Degraded is a third state between healthy and crashed: it
+arms mitigation below but never feeds the crash quorum, so the recovery
+manager's "stragglers are not dead" property is preserved by construction
+(the tail layer only ever *reads* detector state).
+
+**2. Speculative re-execution.**  Each sweep clones not-yet-completed
+lineage-recorded tasks homed on a degraded locality onto a healthy
+survivor, budgeted by ``max_speculation_frac`` of the work completed so
+far.  First completion wins deterministically: whichever future resolves
+first satisfies the application future and the loser's task is cancelled
+through the executor (queued losers retire lazily, active losers have
+their completion event cancelled), so the completed-task count stays one
+per application future and reruns are bit-identical.  A clone that fails
+while its original is still pending never wins — infrastructure errors
+(e.g. admission shedding on the survivor) must not fail work the degraded
+locality would eventually finish.
+
+**3. Partition fencing.**  When the crash quorum declares a locality, the
+tail layer bumps that locality's epoch.  Parcels are stamped with their
+sender's epoch at send time; survivors reject stale-epoch arrivals (booked
+as drops, so PF401 conservation holds) and a fenced locality that "comes
+back" gets a typed :class:`repro.faults.errors.FencedEpochError` instead
+of committing stale results.  When the gray detector disagrees with the
+quorum — some monitor heard the victim recently, the asymmetric-partition
+signature — the fence diagnosis names the partition.
+
+Counters live under ``/tail{locality#N/total}``; the PF410
+``SPECULATION_CONSERVED`` invariant audits the win/cancel ledger.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.runtime.future import Future
+from repro.runtime.task import Task
+from repro.tail.config import TailConfig
+from repro.tail.sketch import QuantileSketch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.dist.runtime import DistRuntime
+    from repro.runtime.sim_executor import SimExecutor
+
+
+class TailManager:
+    """Gray-failure detection + hedging support + speculation + fencing."""
+
+    def __init__(self, dist: "DistRuntime", config: TailConfig) -> None:
+        self.dist = dist
+        self.config = config
+        self.sim = dist.simulator
+        n = dist.config.num_localities
+        self._n = n
+        # -- gray detector state ---------------------------------------------
+        #: per-locality sketch of heartbeat gap / nominal period ratios
+        self._gap_ratio = [QuantileSketch(config.sketch_capacity)
+                           for _ in range(n)]
+        #: per-link sketch of parcel ack round-trips (ns)
+        self._link_rtt: dict[tuple[int, int], QuantileSketch] = {}
+        self._degraded: set[int] = set()
+        self._degraded_flag = [0] * n
+        self.degraded_events = 0
+        # -- hedging ledger (stores indexed by the *sending* locality) -------
+        self._hedges_armed = [0] * n
+        self._hedges_sent = [0] * n
+        self._hedges_won = [0] * n
+        self._hedges_lost = [0] * n
+        self._hedges_cancelled = [0] * n
+        # -- speculation state (stores indexed by the degraded home) ---------
+        #: future id -> (task, executor) of whichever locality spawned it
+        self._task_of: dict[int, tuple[Task, "SimExecutor"]] = {}
+        #: original future id -> in-flight speculation pair
+        self._spec: dict[int, dict] = {}
+        #: future ids that *are* clones (never re-speculated)
+        self._clone_fids: set[int] = set()
+        #: clone future ids whose original already won but whose Task had
+        #: not spawned yet (dataflow dep proxies still in flight) — they
+        #: are cancelled the instant they spawn, before they can run
+        self._doomed: set[int] = set()
+        self._spec_by = [0] * n
+        self._spec_wins_by = [0] * n
+        self._spec_cancelled_by = [0] * n
+        self._orig_cancelled_by = [0] * n
+        self._spec_rr = 0
+        # -- fencing state ---------------------------------------------------
+        self._epoch = [0] * n
+        self._fenced: set[int] = set()
+        self._fenced_rejections = [0] * n
+        self._fence_notes: list[str] = []
+        self._register_counters()
+        # Future -> Task bookkeeping for loser cancellation: every spawn on
+        # every locality reports in (the hook exists only when tail is armed,
+        # so a disabled config leaves the executors untouched).
+        for loc in dist.localities:
+            ex = loc.runtime.executor
+            ex.on_spawn = (
+                lambda task, ex=ex: self._note_spawn(task, ex)
+            )
+
+    # -- aggregate ledger (DistRuntime.run assembles the result from these) --
+
+    @property
+    def tasks_speculated(self) -> int:
+        return sum(self._spec_by)
+
+    @property
+    def speculation_wins(self) -> int:
+        return sum(self._spec_wins_by)
+
+    @property
+    def speculations_cancelled(self) -> int:
+        return sum(self._spec_cancelled_by)
+
+    @property
+    def originals_cancelled(self) -> int:
+        return sum(self._orig_cancelled_by)
+
+    @property
+    def hedges_armed(self) -> int:
+        return sum(self._hedges_armed)
+
+    @property
+    def hedges_sent(self) -> int:
+        return sum(self._hedges_sent)
+
+    @property
+    def hedges_won(self) -> int:
+        return sum(self._hedges_won)
+
+    @property
+    def hedges_lost(self) -> int:
+        return sum(self._hedges_lost)
+
+    @property
+    def hedges_cancelled(self) -> int:
+        return sum(self._hedges_cancelled)
+
+    @property
+    def fenced_rejections(self) -> int:
+        return sum(self._fenced_rejections)
+
+    @property
+    def localities_degraded(self) -> int:
+        return len(self._degraded)
+
+    @property
+    def degraded_localities(self) -> tuple[int, ...]:
+        return tuple(sorted(self._degraded))
+
+    @property
+    def speculation_budget(self) -> int:
+        """The amplification cap at the current completed-task count."""
+        return max(1, int(self.config.max_speculation_frac
+                          * self._tasks_completed()))
+
+    def _tasks_completed(self) -> int:
+        return sum(loc.runtime.executor.tasks_completed
+                   for loc in self.dist.localities)
+
+    def _register_counters(self) -> None:
+        """Export the ``/tail{locality#N/total}`` family.
+
+        Registered only when the tail layer is enabled, so a disabled run's
+        counter snapshot stays bit-identical to the pre-tail runtime.
+        """
+        reg = self.dist.registry
+
+        def per_loc(store: list[int], i: int) -> Callable[[], float]:
+            return lambda: float(store[i])
+
+        for i in range(self._n):
+            prefix = f"/tail{{locality#{i}/total}}"
+            reg.value(f"{prefix}/count/degraded@gauge",
+                      "1 while the gray detector flags this locality",
+                      source=per_loc(self._degraded_flag, i))
+            reg.value(f"{prefix}/count/epoch@gauge",
+                      "fencing epoch of this locality (bumped on declare)",
+                      source=per_loc(self._epoch, i))
+            reg.derived(f"{prefix}/count/hedges-armed",
+                        per_loc(self._hedges_armed, i),
+                        "hedge timers this locality armed on unacked sends")
+            reg.derived(f"{prefix}/count/hedges-sent",
+                        per_loc(self._hedges_sent, i),
+                        "hedge copies this locality put on the wire")
+            reg.derived(f"{prefix}/count/hedges-won",
+                        per_loc(self._hedges_won, i),
+                        "hedge copies that delivered first")
+            reg.derived(f"{prefix}/count/hedges-lost",
+                        per_loc(self._hedges_lost, i),
+                        "hedge copies beaten by the original (deduplicated)")
+            reg.derived(f"{prefix}/count/hedges-cancelled",
+                        per_loc(self._hedges_cancelled, i),
+                        "hedge timers cancelled by an ack before firing")
+            reg.derived(f"{prefix}/count/speculations",
+                        per_loc(self._spec_by, i),
+                        "tasks of this locality cloned onto a survivor")
+            reg.derived(f"{prefix}/count/speculation-wins",
+                        per_loc(self._spec_wins_by, i),
+                        "clones that completed before their original")
+            reg.derived(f"{prefix}/count/speculations-cancelled",
+                        per_loc(self._spec_cancelled_by, i),
+                        "clones called off (original won, or clone failed)")
+            reg.derived(f"{prefix}/count/originals-cancelled",
+                        per_loc(self._orig_cancelled_by, i),
+                        "original tasks cancelled after their clone won")
+            reg.derived(f"{prefix}/count/fenced-rejections",
+                        per_loc(self._fenced_rejections, i),
+                        "stale-epoch parcels from this locality rejected")
+
+    # -- observation hooks (recovery manager + parcelport call these) --------
+
+    def _note_spawn(self, task: Task, executor: "SimExecutor") -> None:
+        hook = task.failure_hook
+        owner = getattr(hook, "__self__", None)
+        if isinstance(owner, Future):
+            self._task_of[owner.future_id] = (task, executor)
+            if owner.future_id in self._doomed:
+                # The original won while this clone's dependency proxies
+                # were still in flight; it has just been enqueued, so the
+                # cancel is guaranteed to land before it runs.
+                self._doomed.discard(owner.future_id)
+                executor.cancel_task(task)
+
+    def note_heartbeat_gap(
+        self, monitor: int, peer: int, gap_ns: int, nominal_ns: int
+    ) -> None:
+        """One heartbeat from ``peer`` arrived ``gap_ns`` after the last."""
+        if nominal_ns > 0:
+            self._gap_ratio[peer].add(gap_ns / nominal_ns)
+
+    def note_ack_rtt(self, src: int, dst: int, rtt_ns: int) -> None:
+        """A parcel from ``src`` to ``dst`` was acked ``rtt_ns`` after send."""
+        sketch = self._link_rtt.get((src, dst))
+        if sketch is None:
+            sketch = QuantileSketch(self.config.sketch_capacity)
+            self._link_rtt[(src, dst)] = sketch
+        sketch.add(float(rtt_ns))
+
+    # -- hedging support (the parcelport owns the timers; we own the math) ---
+
+    def hedge_delay_ns(self, src: int, dst: int) -> int | None:
+        """How long to wait before hedging a send on this link.
+
+        ``None`` while the link's ack-RTT sketch holds fewer than
+        ``min_samples`` observations — no data, no hedge.  The delay is the
+        configured quantile times ``hedge_multiplier``: transfer times are
+        deterministic, so the quantile sits at the healthy RTT itself and
+        the multiplier is what separates "normal" from "worth insuring".
+        """
+        if not self.config.hedge:
+            return None
+        sketch = self._link_rtt.get((src, dst))
+        if sketch is None or len(sketch) < self.config.min_samples:
+            return None
+        quantile = sketch.quantile(self.config.hedge_quantile)
+        return max(self.config.hedge_min_delay_ns,
+                   int(self.config.hedge_multiplier * quantile))
+
+    def note_hedge_armed(self, src: int) -> None:
+        self._hedges_armed[src] += 1
+
+    def note_hedge_sent(self, src: int) -> None:
+        self._hedges_sent[src] += 1
+
+    def note_hedge_won(self, src: int) -> None:
+        self._hedges_won[src] += 1
+
+    def note_hedge_lost(self, src: int) -> None:
+        self._hedges_lost[src] += 1
+
+    def note_hedge_cancelled(self, src: int) -> None:
+        self._hedges_cancelled[src] += 1
+
+    # -- fencing --------------------------------------------------------------
+
+    def epoch_of(self, locality: int) -> int:
+        return self._epoch[locality]
+
+    def is_fenced(self, locality: int) -> bool:
+        return locality in self._fenced
+
+    def is_stale(self, source: int, epoch: int) -> bool:
+        """Does a parcel stamped ``epoch`` from ``source`` predate its fence?"""
+        return self.config.fencing and epoch < self._epoch[source]
+
+    def note_fenced_rejection(self, source: int) -> None:
+        self._fenced_rejections[source] += 1
+
+    def note_declared(self, p: int) -> None:
+        """The crash quorum declared ``p``: fence it and settle its flag."""
+        if self._degraded_flag[p]:
+            # Declared supersedes degraded — the locality is dead, not gray.
+            self._degraded_flag[p] = 0
+            self._degraded.discard(p)
+        if not self.config.fencing:
+            return
+        self._epoch[p] += 1
+        self._fenced.add(p)
+        mgr = self.dist.recovery_manager
+        now = self.sim.now
+        horizon = self.config.degraded_factor * mgr.config.heartbeat_interval_ns
+        dissenters = [
+            m for m in range(self._n)
+            if m != p
+            and not self.dist.localities[m].crashed
+            and m not in mgr._declared
+            and now - mgr._last_seen[m][p] < horizon
+        ]
+        if dissenters:
+            who = ", ".join(str(m) for m in dissenters)
+            self._fence_notes.append(
+                f"partition fenced: quorum declared locality {p} dead while "
+                f"monitor(s) [{who}] still heard it recently — epoch "
+                f"{self._epoch[p]} rejects its stale parcels"
+            )
+        else:
+            self._fence_notes.append(
+                f"locality {p} fenced at epoch {self._epoch[p]}: parcels it "
+                "sent before the declaration are rejected on arrival"
+            )
+
+    # -- the detector sweep ---------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the sweep chain (called from DistRuntime.run)."""
+        self._schedule_sweep()
+
+    def _schedule_sweep(self) -> None:
+        self.sim.schedule(self.config.check_interval_ns, self._sweep)
+
+    def _sweep(self) -> None:
+        # Liveness rides the recovery manager's quiescence condition: the
+        # chain re-arms only while application work, parcels, or an open
+        # recovery still exist, so the event heap drains at run end.
+        if not self.dist.recovery_manager._active():
+            return
+        self._update_flags()
+        if self.config.speculate:
+            self._speculate()
+        self._schedule_sweep()
+
+    def _update_flags(self) -> None:
+        mgr = self.dist.recovery_manager
+        now = self.sim.now
+        nominal = mgr.config.heartbeat_interval_ns
+        monitors = [
+            loc.index
+            for loc in self.dist.localities
+            if not loc.crashed and loc.index not in mgr._declared
+        ]
+        for p in range(self._n):
+            if p in mgr._declared:
+                if self._degraded_flag[p]:
+                    self._degraded_flag[p] = 0
+                    self._degraded.discard(p)
+                continue
+            flagged = False
+            sketch = self._gap_ratio[p]
+            if (len(sketch) >= self.config.min_samples
+                    and sketch.median() >= self.config.degraded_factor):
+                flagged = True
+            else:
+                # Ongoing silence: a severe straggler's heartbeats are so
+                # sparse the sketch would need min_samples * factor periods
+                # to fill — the current gap alone is evidence enough.
+                gaps = [now - mgr._last_seen[m][p] for m in monitors if m != p]
+                if gaps and min(gaps) >= self.config.degraded_factor * nominal:
+                    flagged = True
+            if flagged and not self._degraded_flag[p]:
+                self._degraded_flag[p] = 1
+                self._degraded.add(p)
+                self.degraded_events += 1
+            elif not flagged and self._degraded_flag[p]:
+                self._degraded_flag[p] = 0
+                self._degraded.discard(p)
+
+    # -- speculative re-execution ---------------------------------------------
+
+    def _speculate(self) -> None:
+        if not self._degraded:
+            return
+        mgr = self.dist.recovery_manager
+        healthy = [
+            loc.index
+            for loc in self.dist.localities
+            if not loc.crashed
+            and loc.index not in mgr._declared
+            and loc.index not in self._degraded
+        ]
+        if not healthy:
+            return
+        budget = self.speculation_budget
+        owner = self.dist._owner
+        # Snapshot: spawning a clone records new lineage mid-iteration.
+        lineage = list(mgr._lineage.items())
+        for p in sorted(self._degraded):
+            for fid, lin in lineage:
+                if self.tasks_speculated >= budget:
+                    return
+                if owner.get(fid) != p:
+                    continue
+                if lin.kind not in ("async", "dataflow"):
+                    continue
+                if lin.future.is_ready:
+                    continue
+                if fid in self._spec or fid in self._clone_fids:
+                    continue
+                if fid in mgr._replacement:
+                    continue  # crash recovery already owns this future
+                if lin.kind == "dataflow" and not all(
+                    d.is_ready and not d.has_exception for d in lin.deps
+                ):
+                    continue
+                target = healthy[self._spec_rr % len(healthy)]
+                self._spec_rr += 1
+                self._clone(p, fid, lin, target)
+
+    def _clone(self, p: int, fid: int, lin, target: int) -> None:
+        dist = self.dist
+        name = f"spec:{lin.name or lin.future.name}"
+        if lin.kind == "async":
+            clone = dist.async_(
+                lin.fn, *lin.args, locality=target, work=lin.work,
+                name=name, priority=lin.priority, qos=lin.qos,
+            )
+        else:
+            clone = dist.dataflow(
+                lin.fn, list(lin.deps), locality=target, work=lin.work,
+                name=name, priority=lin.priority, qos=lin.qos,
+            )
+        self._clone_fids.add(clone.future_id)
+        self._spec[fid] = {"clone": clone, "resolved": False, "home": p}
+        self._spec_by[p] += 1
+        lin.future.on_ready(lambda _f, fid=fid: self._original_ready(fid))
+        clone.on_ready(lambda _c, fid=fid: self._clone_ready(fid))
+
+    def _original_ready(self, fid: int) -> None:
+        """The original resolved first (its body, or a crash replacement)."""
+        st = self._spec.get(fid)
+        if st is None or st["resolved"]:
+            return
+        st["resolved"] = True
+        p = st["home"]
+        self._spec_cancelled_by[p] += 1
+        clone: Future = st["clone"]
+        entry = self._task_of.get(clone.future_id)
+        if entry is not None:
+            task, executor = entry
+            executor.cancel_task(task)
+        else:
+            # A dataflow clone whose re-localized dep proxies are still in
+            # flight has no Task yet — doom the future id so _note_spawn
+            # cancels it the moment the when_all fires and it spawns.
+            self._doomed.add(clone.future_id)
+
+    def _clone_ready(self, fid: int) -> None:
+        """The clone resolved first: it wins, the original is cancelled."""
+        st = self._spec.get(fid)
+        if st is None or st["resolved"]:
+            return
+        st["resolved"] = True
+        p = st["home"]
+        clone: Future = st["clone"]
+        original = self.dist.recovery_manager._lineage[fid].future
+        if clone.has_exception:
+            # Infrastructure failure on the survivor (shed, crash): the
+            # speculation is called off, never propagated — the degraded
+            # locality will still finish the original.
+            self._spec_cancelled_by[p] += 1
+            return
+        self._spec_wins_by[p] += 1
+        # Cancel the original *before* satisfying its future: a queued
+        # original dispatched later would otherwise double-set the value.
+        entry = self._task_of.get(fid)
+        if entry is None:
+            # The original's own dep proxies are still in flight, so its
+            # Task does not exist yet: doom the future id and _note_spawn
+            # cancels it before it can run — it never executes.
+            self._doomed.add(fid)
+            cancelled = True
+        else:
+            task, executor = entry
+            cancelled = executor.cancel_task(task)
+        if cancelled:
+            self._orig_cancelled_by[p] += 1
+            if not original.is_ready:
+                original.set_value(clone.value)
+        # else: the original is mid-completion at this very timestamp and
+        # will set its own (identical, deterministic) value — setting it
+        # here would double-assign the future.
+
+    # -- diagnosis (the watchdog and _diagnose read this) ---------------------
+
+    def diagnose(self) -> list[str]:
+        """Gray-detector / speculation / fence state, one string per finding."""
+        parts: list[str] = []
+        for p in sorted(self._degraded):
+            sketch = self._gap_ratio[p]
+            if len(sketch) >= self.config.min_samples:
+                parts.append(
+                    f"locality {p} degraded: median heartbeat gap "
+                    f"{sketch.median():.1f}x nominal "
+                    f"(threshold {self.config.degraded_factor:.1f}x)"
+                )
+            else:
+                parts.append(
+                    f"locality {p} degraded: silent beyond "
+                    f"{self.config.degraded_factor:.1f}x the heartbeat period"
+                )
+        parts.extend(self._fence_notes)
+        if self.tasks_speculated:
+            parts.append(
+                f"speculation: {self.tasks_speculated} clone(s), "
+                f"{self.speculation_wins} won, "
+                f"{self.speculations_cancelled} called off, "
+                f"{self.originals_cancelled} original(s) cancelled"
+            )
+        if self.hedges_sent:
+            parts.append(
+                f"hedging: {self.hedges_sent} of {self.hedges_armed} armed "
+                f"hedge(s) sent, {self.hedges_won} won, "
+                f"{self.hedges_lost} deduplicated"
+            )
+        return parts

@@ -40,7 +40,14 @@ graph the spec describes?" into an integer comparison.
    drawn from the spec seed: the deadline ledger must balance, blocked
    time must imply contention, and the miss set must replay
    bit-identically (PF409), with the underlying runs themselves
-   bit-identical (PF406).
+   bit-identical (PF406);
+9. **dist@N-tail** (``use_tail`` specs) — the multi-locality run repeats
+   with the last locality a 4x straggler and :class:`repro.tail.TailConfig`
+   armed: gray detection, hedged parcels and speculative re-execution must
+   leave the structural fingerprint exact (PF403), conserve application
+   tasks (PF402) and wire copies hedges included (PF401), balance the
+   first-wins ledger (PF410), never let the crash quorum declare the
+   straggler, and replay bit-identically (PF406).
 
 ``mutate`` is the planted-discrepancy hook the shrinker tests use: it may
 rewrite any backend's :class:`StructuralResult` before comparison, letting
@@ -55,7 +62,7 @@ from typing import Callable
 from repro.analysis.dynamic import CheckError
 from repro.analysis.findings import Finding
 from repro.dist.runtime import DistConfig, DistRuntime
-from repro.faults.plan import CrashAt, FaultPlan, stream_u64
+from repro.faults.plan import CrashAt, FaultPlan, Straggler, stream_u64
 from repro.faults.transport import RetryParams
 from repro.recovery import RecoveryConfig
 from repro.runtime.runtime import RunResult, Runtime, RuntimeConfig
@@ -70,6 +77,7 @@ from repro.verify.invariants import (
     RECOVERY_CONSERVED,
     RERUN_IDENTICAL,
     RT_CONSERVED,
+    SPECULATION_CONSERVED,
     TASKS_CONSERVED,
 )
 from repro.verify.spec import WorkloadSpec
@@ -323,6 +331,52 @@ def run_dist_crash(spec: WorkloadSpec, crash_at_ns: int):
     return structural, result
 
 
+def run_dist_tail(spec: WorkloadSpec):
+    """The tail-tolerance leg: the last locality runs 4x slow with
+    ``TailConfig`` armed — gray detection, hedged parcels, speculation.
+
+    The straggler factor sits deliberately *inside* the crash detector's
+    adaptive tolerance (``suspicion_after`` x the observed gap) and above
+    the gray threshold (``degraded_factor`` 3x), so the quorum never
+    declares it while the tail layer both flags it and speculates its
+    tasks onto healthy survivors.  First-completion-wins must leave the
+    structural fingerprint exact (a winning clone computes the same pure
+    value), the application task count conserved, and the PF410 ledger
+    balanced; ``tasks_executed`` is the application completion count, as
+    on the recovery leg.
+    """
+    from repro.tail import TailConfig
+
+    n = spec.num_localities
+    config = DistConfig(
+        num_localities=n,
+        platform=spec.platform,
+        cores_per_locality=spec.num_cores,
+        scheduler=spec.scheduler,
+        seed=spec.runtime_seed,
+        faults=FaultPlan(
+            seed=spec.fault_seed,
+            drop_rate=spec.drop_rate,
+            duplicate_rate=spec.duplicate_rate,
+            stragglers=(Straggler(n - 1, 4.0),),
+        ),
+        # hedge timers race against acks; drops are what hedges insure
+        retry=RetryParams(),
+        crash_recovery=RecoveryConfig(checkpoint_interval_ns=100_000),
+        # sweep fast relative to the tiny fuzz workloads, and hedge
+        # aggressively so the machinery actually engages at this scale
+        tail=TailConfig(check_interval_ns=25_000, hedge_min_delay_ns=5_000),
+    )
+    dist = DistRuntime(config)
+    placement = make_placement(spec.placement, spec.width, n)
+    entries = build_verify_graph(dist, spec, placement=placement)
+    result = dist.wait([f for _, _, _, f in entries])
+    structural = _fold(
+        spec, f"dist@{n}-tail", entries, result.app_tasks_completed
+    )
+    return structural, result
+
+
 def run_rt(spec: WorkloadSpec):
     """The real-time leg: one fixed three-task window whose protocol and
     grain are drawn from the spec seed.
@@ -497,6 +551,36 @@ def verify_spec(
                         file="<invariant>",
                     )
                 )
+
+        # 9. slow a locality down with the tail layer armed: speculation's
+        #    first-wins races must leave the structural answer exact, the
+        #    ledgers balanced, and the straggler undeclared
+        if spec.use_tail:
+            distt, distt_run = run_dist_tail(spec)
+            distt = post(distt.backend, distt)
+            report.findings += TASKS_CONSERVED.check(
+                spec.total_tasks, distt.unready, distt.tasks_executed
+            )
+            report.findings += DEPENDENCY_ORDER_CONSERVED.check(
+                model.fingerprint, distt.fingerprint, backend=distt.backend
+            )
+            report.findings += PARCELS_CONSERVED.check(distt_run)
+            report.findings += SPECULATION_CONSERVED.check(distt_run)
+            if distt_run.crashes_detected != 0:
+                report.findings.append(
+                    Finding(
+                        "PF410",
+                        "speculation conservation violated: the gray "
+                        "detector's straggler was declared dead by the "
+                        "crash quorum ("
+                        f"{distt_run.crashes_detected} declaration(s)) — "
+                        "degraded must never feed the crash declaration",
+                        file="<invariant>",
+                    )
+                )
+            distt2, distt2_run = run_dist_tail(spec)
+            report.findings += RERUN_IDENTICAL.check(distt_run, distt2_run)
+            report.findings += BACKENDS_AGREE.check(distt, distt2)
 
     # 8. the real-time leg: the deadline ledger balances and replays
     if spec.use_rt:

@@ -272,6 +272,69 @@ RT_CONSERVED = Invariant(
 )
 
 
+# -- PF410: speculation and hedging keep first-wins exact -----------------------
+
+
+def _speculation_violation(result: "DistRunResult") -> str | None:
+    resolved = result.speculation_wins + result.speculations_cancelled
+    if resolved != result.tasks_speculated:
+        return (
+            "speculation conservation violated: "
+            f"{result.tasks_speculated} task(s) speculated != "
+            f"{result.speculation_wins} clone wins + "
+            f"{result.speculations_cancelled} called off (a speculation "
+            "must resolve exactly once)"
+        )
+    if result.originals_cancelled > result.speculation_wins:
+        return (
+            "speculation conservation violated: "
+            f"{result.originals_cancelled} original(s) cancelled exceeds "
+            f"{result.speculation_wins} clone win(s) (an original is only "
+            "cancelled by the clone that beat it)"
+        )
+    if result.hedges_sent != result.hedges_won + result.hedges_lost:
+        return (
+            "speculation conservation violated: "
+            f"{result.hedges_sent} hedge(s) sent != "
+            f"{result.hedges_won} won + {result.hedges_lost} deduplicated "
+            "(every hedge copy on the wire meets exactly one fate)"
+        )
+    if result.hedges_armed != result.hedges_sent + result.hedges_cancelled:
+        return (
+            "speculation conservation violated: "
+            f"{result.hedges_armed} hedge timer(s) armed != "
+            f"{result.hedges_sent} fired + {result.hedges_cancelled} "
+            "cancelled (a hedge timer either fires or is cancelled)"
+        )
+    if (
+        result.speculation_budget
+        and result.tasks_speculated > result.speculation_budget
+    ):
+        return (
+            "speculation conservation violated: "
+            f"{result.tasks_speculated} task(s) speculated exceeds the "
+            f"work-amplification budget of {result.speculation_budget} "
+            "(max_speculation_frac of completed work)"
+        )
+    if result.tasks_speculated == 0 and result.originals_cancelled:
+        return (
+            "speculation conservation violated: "
+            f"{result.originals_cancelled} original(s) cancelled with no "
+            "speculation launched"
+        )
+    return None
+
+
+SPECULATION_CONSERVED = Invariant(
+    "PF410",
+    "speculation-conserved",
+    "every speculation resolves exactly once (win or called off), originals "
+    "fall only to winning clones, hedge copies are fully accounted, and "
+    "work amplification stays within the configured budget",
+    _speculation_violation,
+)
+
+
 # -- PF405: the dynamic checker stays clean -------------------------------------
 
 
@@ -374,6 +437,7 @@ INVARIANTS: dict[str, Invariant] = {
         BACKENDS_AGREE,
         RECOVERY_CONSERVED,
         RT_CONSERVED,
+        SPECULATION_CONSERVED,
     )
 }
 
@@ -390,4 +454,5 @@ __all__ = [
     "BACKENDS_AGREE",
     "RECOVERY_CONSERVED",
     "RT_CONSERVED",
+    "SPECULATION_CONSERVED",
 ]

@@ -8,9 +8,9 @@ shrinkers do, but over the workload-spec lattice instead of a bytestream:
 
 - each candidate in :func:`shrink_candidates` is one *structurally
   simpler* spec — drop pattern phases, halve the grid, drop the fault
-  plan, the crash-with-recovery leg, or the real-time leg, collapse to
-  one locality, turn priorities or per-task QoS classes off, coarsen
-  the grain;
+  plan, the crash-with-recovery leg, the real-time leg, or the
+  tail-tolerance leg, collapse to one locality, turn priorities or
+  per-task QoS classes off, coarsen the grain;
 - every candidate **strictly reduces** ``spec.size()`` (candidates that
   would not are never yielded), so greedy descent provably terminates:
   size is a positive integer and each accepted step decreases it;
@@ -74,18 +74,21 @@ def shrink_candidates(spec: WorkloadSpec) -> Iterator[WorkloadSpec]:
                 width=spec.width // 2,
                 num_localities=clamped,
                 use_recovery=spec.use_recovery and clamped > 1,
+                use_tail=spec.use_tail and clamped > 1,
             )
         )
     if spec.num_localities > 1:
-        # recovery needs a survivor, so collapsing to one locality drops
-        # the crash leg with it
+        # recovery and tail tolerance both need a survivor, so collapsing
+        # to one locality drops those legs with it
         candidates.append(
-            _try(spec, num_localities=1, use_recovery=False)
+            _try(spec, num_localities=1, use_recovery=False, use_tail=False)
         )
     if spec.use_recovery:
         candidates.append(_try(spec, use_recovery=False))
     if spec.use_rt:
         candidates.append(_try(spec, use_rt=False))
+    if spec.use_tail:
+        candidates.append(_try(spec, use_tail=False))
     if spec.faults_active:
         candidates.append(_try(spec, drop_rate=0.0, duplicate_rate=0.0))
     if spec.use_priorities:

@@ -96,6 +96,11 @@ class WorkloadSpec:
     #: must hold — released == on-time + missed, blocked time only under
     #: contention, bit-identical miss sets across the two runs
     use_rt: bool = False
+    #: tail-tolerance leg: the multi-locality run repeats with a straggler
+    #: locality and ``TailConfig`` armed (hedging + speculation + fencing);
+    #: PF410 must balance the first-wins ledger and PF401 must still hold
+    #: with hedge copies on the wire
+    use_tail: bool = False
 
     def __post_init__(self) -> None:
         if not self.patterns:
@@ -143,6 +148,11 @@ class WorkloadSpec:
                 "use_recovery needs num_localities >= 2 (a survivor must "
                 "remain to recover onto)"
             )
+        if self.use_tail and self.num_localities < 2:
+            raise ValueError(
+                "use_tail needs num_localities >= 2 (speculation clones a "
+                "degraded locality's tasks onto a healthy one)"
+            )
 
     # -- derived shape ---------------------------------------------------------
 
@@ -168,6 +178,7 @@ class WorkloadSpec:
             + int(self.use_qos)
             + int(self.use_recovery)
             + int(self.use_rt)
+            + int(self.use_tail)
         )
 
     def make_kernel(self) -> KernelSpec:
@@ -218,6 +229,7 @@ class WorkloadSpec:
             "num_qos_classes": self.num_qos_classes,
             "use_recovery": self.use_recovery,
             "use_rt": self.use_rt,
+            "use_tail": self.use_tail,
         }
 
     @classmethod
@@ -272,6 +284,12 @@ def generate_spec(seed: int) -> WorkloadSpec:
     # ~1/4 of the corpus also runs the real-time leg (PF409); drawn at a
     # fresh index so older specs replay unchanged
     use_rt = stream_u64(seed, _ROLE_GEN, 17) % 4 == 0
+    # ~3/4 of the multi-locality specs also run the tail-tolerance leg
+    # (PF410): straggler + TailConfig, hedging and speculation armed —
+    # 17 of the first 50 corpus seeds take it
+    use_tail = (
+        num_localities > 1 and stream_u64(seed, _ROLE_GEN, 18) % 4 != 0
+    )
     return WorkloadSpec(
         seed=stream_u64(seed, _ROLE_GEN, 99),
         patterns=patterns,
@@ -293,6 +311,7 @@ def generate_spec(seed: int) -> WorkloadSpec:
         num_qos_classes=2 + stream_u64(seed, _ROLE_GEN, 15) % 2,
         use_recovery=use_recovery,
         use_rt=use_rt,
+        use_tail=use_tail,
     )
 
 

@@ -478,6 +478,126 @@ def test_tg107_noqa_is_honored():
 # -- suppression syntax ------------------------------------------------------------
 
 
+# -- TG108: task body swallows the typed fault hierarchy ---------------------------
+
+TG108_BARE = """
+def body(x):
+    try:
+        return 1.0 / x
+    except:
+        return 0.0
+f = rt.async_(body, 2)
+rt.run()
+print(f.value)
+"""
+
+TG108_BROAD = """
+def body(dep):
+    try:
+        return dep * 2
+    except Exception:
+        return None
+f = rt.dataflow(body, [g])
+rt.run()
+print(f.value)
+"""
+
+TG108_CLEAN_RERAISE = """
+import logging
+def body(x):
+    try:
+        return 1.0 / x
+    except Exception:
+        logging.warning("task failed")
+        raise
+f = rt.async_(body, 2)
+rt.run()
+print(f.value)
+"""
+
+TG108_CLEAN_TYPED = """
+def body(x):
+    try:
+        return 1.0 / x
+    except ZeroDivisionError:
+        return 0.0
+f = rt.async_(body, 2)
+rt.run()
+print(f.value)
+"""
+
+TG108_CLEAN_DRIVER = """
+f = rt.async_(lambda: 1)
+try:
+    rt.run()
+except Exception:
+    print("driver-level handling is where broad catches belong")
+print(f.value)
+"""
+
+
+def test_tg108_bare_except_in_task_body():
+    found = findings_for(TG108_BARE, "TG108")
+    assert len(found) == 1
+    assert "bare except" in found[0].message
+    assert "FencedEpochError" in found[0].message
+
+
+def test_tg108_except_exception_in_task_body():
+    found = findings_for(TG108_BROAD, "TG108")
+    assert len(found) == 1
+    assert "Exception" in found[0].message
+
+
+def test_tg108_broad_tuple_is_flagged():
+    src = TG108_BROAD.replace(
+        "except Exception:", "except (ValueError, Exception):"
+    )
+    assert len(findings_for(src, "TG108")) == 1
+
+
+def test_tg108_reraising_handler_is_exempt():
+    assert not findings_for(TG108_CLEAN_RERAISE, "TG108")
+
+
+def test_tg108_typed_catch_is_clean():
+    assert not findings_for(TG108_CLEAN_TYPED, "TG108")
+
+
+def test_tg108_driver_code_is_exempt():
+    assert not findings_for(TG108_CLEAN_DRIVER, "TG108")
+
+
+def test_tg108_raise_inside_nested_def_does_not_exempt():
+    src = """
+def body(x):
+    try:
+        return 1.0 / x
+    except Exception:
+        def helper():
+            raise ValueError("never called")
+        return helper
+f = rt.async_(body, 2)
+rt.run()
+print(f.value)
+"""
+    assert len(findings_for(src, "TG108")) == 1
+
+
+def test_tg108_noqa_is_honored():
+    src = (
+        "def body(x):\n"
+        "    try:\n"
+        "        return 1.0 / x\n"
+        "    except Exception:  # noqa: TG108\n"
+        "        return 0.0\n"
+        "f = rt.async_(body, 2)\n"
+        "rt.run()\n"
+        "print(f.value)\n"
+    )
+    assert not findings_for(src, "TG108")
+
+
 def test_noqa_with_rule_id_suppresses_only_that_rule():
     src = "rt.async_(lambda: 1)  # noqa: TG102\nrt.run()\n"
     assert not lint_source(src)

@@ -51,6 +51,50 @@ class TestWrite:
         path = benchlog.write(tmp_path)  # tmp_path is not a git checkout
         assert path.name == "BENCH_unknown.json"
 
+    def test_coverage_pins_missing_experiments(self, tmp_path):
+        benchlog.record("figH", 1.0, 10)
+        benchlog.record("figC", 1.0, 10)
+        path = benchlog.write(
+            tmp_path, revision="r", registered=["figC", "figH", "figQ"]
+        )
+        data = json.loads(path.read_text())
+        assert data["experiments"] == ["figC", "figH"]
+        assert data["missing"] == ["figQ"]
+
+    def test_full_coverage_has_no_missing(self, tmp_path):
+        benchlog.record("figH", 1.0, 10)
+        path = benchlog.write(tmp_path, revision="r", registered=["figH"])
+        data = json.loads(path.read_text())
+        assert data["missing"] == []
+
+    def test_default_registry_is_the_cli_registry(self, tmp_path):
+        from repro.experiments.cli import EXPERIMENT_MODULES
+
+        for name in EXPERIMENT_MODULES:
+            benchlog.record(name, 0.1, 1)
+        path = benchlog.write(tmp_path, revision="r")
+        data = json.loads(path.read_text())
+        assert data["missing"] == []
+        assert data["experiments"] == sorted(EXPERIMENT_MODULES)
+
+    def test_every_registered_experiment_has_a_benchmark_module(self):
+        """Coverage drift gate: a figure registered in the CLI without a
+        ``benchmarks/bench_*`` file would silently fall out of the
+        ``make bench`` trail."""
+        from pathlib import Path
+
+        from repro.experiments.cli import EXPERIMENT_MODULES
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        sources = " ".join(
+            p.read_text() for p in bench_dir.glob("bench_*.py")
+        )
+        for name, module in EXPERIMENT_MODULES.items():
+            assert module.rsplit(".", 1)[-1] in sources, (
+                f"experiment {name!r} ({module}) has no benchmark in "
+                "benchmarks/ — make bench would not record it"
+            )
+
 
 def _payload(**walls):
     return {
@@ -164,4 +208,51 @@ class TestGitRevision:
 
     def test_inside_this_checkout_is_short_hex(self):
         rev = benchlog.git_revision(".")
-        assert rev == "unknown" or (4 <= len(rev) <= 16 and rev.isalnum())
+        base = rev.removesuffix("-dirty")
+        assert rev == "unknown" or (4 <= len(base) <= 16 and base.isalnum())
+
+    @staticmethod
+    def _init_repo(tmp_path):
+        import subprocess
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args], cwd=tmp_path, check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                    "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                    "HOME": str(tmp_path), "PATH": "/usr/bin:/bin:/usr/local/bin",
+                },
+            )
+
+        git("init", "-q")
+        (tmp_path / "f.txt").write_text("x\n")
+        git("add", "f.txt")
+        git("commit", "-q", "-m", "seed")
+        return git
+
+    def test_clean_checkout_has_no_dirty_suffix(self, tmp_path):
+        self._init_repo(tmp_path)
+        rev = benchlog.git_revision(tmp_path)
+        assert rev != "unknown"
+        assert not rev.endswith("-dirty")
+
+    def test_dirty_checkout_is_stamped(self, tmp_path):
+        self._init_repo(tmp_path)
+        clean = benchlog.git_revision(tmp_path)
+        (tmp_path / "f.txt").write_text("edited\n")
+        assert benchlog.git_revision(tmp_path) == f"{clean}-dirty"
+
+    def test_emission_time_stamping_follows_head(self, tmp_path):
+        """The revision is read when write() runs, not cached earlier."""
+        git = self._init_repo(tmp_path)
+        first = benchlog.git_revision(tmp_path)
+        (tmp_path / "f.txt").write_text("second\n")
+        git("commit", "-q", "-am", "second")
+        second = benchlog.git_revision(tmp_path)
+        benchlog.record("figH", 1.0, 1)
+        path = benchlog.write(tmp_path)
+        assert path is not None
+        assert first not in path.name
+        assert path.name == f"BENCH_{second}.json"

@@ -28,6 +28,7 @@ EXPECTED_OUTPUT = {
     "crash_recovery.py": "bit-identical to the crash-free run: True",
     "realtime_tasks.py": "reruns bit-identical (miss sets, time, counters): True",
     "taskbench_patterns.py": "the dependence-free pattern tolerates",
+    "tail_tolerance.py": "the 4x straggler stayed gray: True",
     "overload_control.py": "goodput plateaus",
 }
 

@@ -128,12 +128,12 @@ class TestCli:
     def test_all_expands(self):
         # Don't actually run 'all' (slow); check the expansion logic via
         # the registry being non-trivial.
-        assert len(cli.EXPERIMENT_MODULES) == 22
+        assert len(cli.EXPERIMENT_MODULES) == 23
 
     def test_list_subcommand(self, capsys):
         assert cli.main(["list"]) == 0
         out = capsys.readouterr().out
-        for figure in ("figT", "figD", "figR", "figQ", "figC", "figE"):
+        for figure in ("figT", "figD", "figR", "figQ", "figC", "figE", "figH"):
             assert figure in out
         # One line per experiment: name plus its one-line title.
         lines = [line for line in out.splitlines() if line.strip()]
@@ -269,6 +269,46 @@ class TestFigESmoke:
             "max blocked (ns)",
             "ctrl deadline misses",
         }
+
+
+class TestFigHSmoke:
+    """figH (tail tolerance vs grain) runs end-to-end at smoke scale.
+
+    The gray-failure shape claims — the unprotected best grain coarsening
+    with straggler severity, the hedged/speculating leg bounded by 2x
+    fault-free, speculation within budget, zero crash declarations, and
+    bit-identical reruns — are properties of the stack, not of sweep
+    density, so they are asserted in full at smoke scale.
+    """
+
+    def test_run_and_checks(self):
+        from repro.experiments import figH_tail_tolerance as exp
+
+        fig = exp.run(SMOKE)
+        problems = exp.shape_checks(fig)
+        assert problems == [], problems
+        summary = "summary (x = straggler severity)"
+        labels = {s.label for s in fig.panels[summary]}
+        assert "determinism (1 = bit-identical rerun)" in labels
+        assert "best grain, tail off (ns)" in labels
+        assert "speculation budget" in labels
+        for severity in exp.SEVERITIES:
+            panel = f"{exp.PLATFORM} straggler {severity:g}x"
+            legs = {s.label for s in fig.panels[panel]}
+            assert legs == {
+                "tail tolerance on: p99 makespan (s)",
+                "tail tolerance off: p99 makespan (s)",
+            }
+
+    def test_severe_straggler_stays_gray(self):
+        from repro.experiments import figH_tail_tolerance as exp
+
+        result, _ = exp.run_cell(
+            10, 4, severity=exp.SEVERITIES[-1], tail_on=True, seed=exp.SEED
+        )
+        assert result.crashes_detected == 0
+        assert result.degraded_events > 0
+        assert result.tasks_speculated > 0
 
 
 class TestExtensionExperimentsSmoke:
